@@ -1,0 +1,119 @@
+(* wfc — the workflow compiler: synthesize distributed event guards from
+   a declarative workflow specification. *)
+
+open Wf_core
+
+let compile_spec path show_automata show_dot show_paths =
+  let { Wf_lang.Elaborate.def; templates } = Wf_lang.Elaborate.load_file path in
+  let deps = Wf_tasks.Workflow_def.dependencies def in
+  Format.printf "workflow %s: %d task(s), %d ground dependencies, %d template(s)@."
+    def.Wf_tasks.Workflow_def.name
+    (List.length def.Wf_tasks.Workflow_def.tasks)
+    (List.length deps) (List.length templates);
+  List.iter
+    (fun (name, d) -> Format.printf "  dep %s: %a@." name Expr.pp d)
+    def.Wf_tasks.Workflow_def.deps;
+  List.iter
+    (fun (name, t) -> Format.printf "  template %s: %a@." name Ptemplate.pp t)
+    templates;
+  Format.printf "@.Synthesized guards (localized per event):@.";
+  let compiled = Compile.compile deps in
+  List.iter
+    (fun (p : Compile.event_plan) ->
+      Format.printf "  G(%a) = %a@." Literal.pp p.Compile.literal Guard.pp
+        p.Compile.guard;
+      if not (Symbol.Set.is_empty p.Compile.watched) then
+        Format.printf "      watches: %s@."
+          (String.concat ", "
+             (List.map Symbol.name (Symbol.Set.elements p.Compile.watched))))
+    (Compile.plans compiled);
+  List.iter
+    (fun (name, t) ->
+      Format.printf "@.Guard templates for %s:@." name;
+      let skel = Ptemplate.skeleton t in
+      List.iter
+        (fun (a : Ptemplate.atom) ->
+          let lit : Literal.t =
+            {
+              Literal.sym = Ptemplate.symbol_of_atom Ptemplate.var_marker a;
+              pol = a.Ptemplate.pol;
+            }
+          in
+          Format.printf "  G(%a) = %a@." Literal.pp lit Guard.pp
+            (Synth.guard skel lit))
+        (Ptemplate.atoms t))
+    templates;
+  if show_automata || show_dot || show_paths then
+    List.iter
+      (fun (name, d) ->
+        let aut = Automaton.build d in
+        if show_automata then
+          Format.printf "@.Scheduler automaton for %s (%d states):@.%a@." name
+            (Automaton.num_states aut) Automaton.pp aut;
+        if show_paths then begin
+          Format.printf "@.Π(%s):@." name;
+          List.iter
+            (fun p -> Format.printf "  %a@." Trace.pp p)
+            (Paths.pi d)
+        end;
+        if show_dot then print_string (Automaton.to_dot aut))
+      def.Wf_tasks.Workflow_def.deps;
+  0
+
+let compile_expr src event =
+  let e =
+    match Wf_lang.Elaborate.expr_of_ast (Wf_lang.Parser.parse_expr src) with
+    | Either.Left ground -> ground
+    | Either.Right _ -> failwith "expression must be ground (use a spec for templates)"
+  in
+  Format.printf "dependency: %a@." Expr.pp e;
+  (match event with
+  | Some name ->
+      let lit =
+        if String.length name > 0 && name.[0] = '~' then
+          Literal.complement_of (String.sub name 1 (String.length name - 1))
+        else Literal.event name
+      in
+      Format.printf "G(%a) = %a@." Literal.pp lit Guard.pp (Synth.guard e lit)
+  | None ->
+      Literal.Set.iter
+        (fun lit ->
+          Format.printf "G(%a) = %a@." Literal.pp lit Guard.pp
+            (Synth.guard e lit))
+        (Expr.literals e));
+  0
+
+open Cmdliner
+
+let path =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"SPEC.wf" ~doc:"Workflow specification file.")
+
+let expr_flag =
+  Arg.(value & opt (some string) None & info [ "expr"; "e" ] ~docv:"EXPR" ~doc:"Compile a bare dependency expression instead of a file.")
+
+let event_flag =
+  Arg.(value & opt (some string) None & info [ "event" ] ~docv:"EVENT" ~doc:"With --expr: only the guard of this event (prefix ~ for the complement).")
+
+let automata_flag =
+  Arg.(value & flag & info [ "automata" ] ~doc:"Print the residuation automaton of each dependency (Figure 2).")
+
+let dot_flag = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz for the automata.")
+
+let paths_flag =
+  Arg.(value & flag & info [ "paths" ] ~doc:"Print Π(D), the accepted residuation paths (Definition 3).")
+
+let run path expr event automata dot paths =
+  match (expr, path) with
+  | Some src, _ -> compile_expr src event
+  | None, Some p -> compile_spec p automata dot paths
+  | None, None ->
+      prerr_endline "wfc: provide a SPEC.wf file or --expr";
+      2
+
+let cmd =
+  let doc = "synthesize distributed event guards from workflow specifications" in
+  Cmd.v
+    (Cmd.info "wfc" ~doc)
+    Term.(const run $ path $ expr_flag $ event_flag $ automata_flag $ dot_flag $ paths_flag)
+
+let () = exit (Cmd.eval' cmd)

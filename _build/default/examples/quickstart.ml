@@ -1,0 +1,55 @@
+(* Quickstart: specify two intertask dependencies, synthesize the
+   distributed guards, and execute the workflow by guard evaluation.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Wf_core
+open Wf_tasks
+open Wf_scheduler
+
+let () =
+  (* 1. Declare dependencies in the event algebra (Section 3).
+        Klein's e < f: if both commit, t1 commits first.
+        Klein's e -> f: if t1 commits, t2 commits too. *)
+  let d_order = Catalog.commit_order "t1" "t2" in
+  let d_req = Catalog.strong_commit "t1" "t2" in
+  Format.printf "dependencies:@.  %a@.  %a@.@." Expr.pp d_order Expr.pp d_req;
+
+  (* 2. Synthesize the guards (Section 4.2): the weakest temporal
+        condition under which each event may occur. *)
+  let compiled = Compile.compile [ d_order; d_req ] in
+  Format.printf "synthesized guards:@.%a@." Compile.pp compiled;
+
+  (* 3. The scheduler-state automaton of a dependency (Figure 2). *)
+  let aut = Automaton.build d_order in
+  Format.printf "@.residuation automaton of the commit order (%d states):@.%a@."
+    (Automaton.num_states aut) Automaton.pp aut;
+
+  (* 4. Execute: two transaction tasks on two sites; events are attempted
+        by the task agents, parked while guards are undecided, and
+        released by announcements. *)
+  let wf =
+    Workflow_def.make ~name:"quickstart"
+      ~tasks:
+        [
+          Workflow_def.task ~instance:"t1" ~model:Task_model.transaction ~site:0 ();
+          Workflow_def.task ~instance:"t2" ~model:Task_model.transaction ~site:1 ();
+        ]
+      ~deps:[ ("order", d_order); ("require", d_req) ]
+      ()
+  in
+  let result =
+    Event_sched.run
+      ~config:{ Event_sched.default_config with check_generates = true }
+      wf
+  in
+  Format.printf "@.realized trace:@.";
+  List.iter
+    (fun (o : Event_sched.occurrence) ->
+      Format.printf "  %6.2f  %a@." o.Event_sched.time Literal.pp o.Event_sched.lit)
+    result.Event_sched.trace;
+  Format.printf "dependencies satisfied: %b@." result.Event_sched.satisfied;
+  (match result.Event_sched.generated with
+  | Some g -> Format.printf "trace generated per Definition 4: %b@." g
+  | None -> ());
+  assert result.Event_sched.satisfied

@@ -1,0 +1,1 @@
+lib/core/automaton.ml: Array Buffer Equiv Expr Format List Literal Nf Printf Residue String Symbol Trace

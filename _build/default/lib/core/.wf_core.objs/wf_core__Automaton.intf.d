@@ -1,0 +1,1 @@
+lib/core/automaton.mli: Expr Format Literal Nf Trace

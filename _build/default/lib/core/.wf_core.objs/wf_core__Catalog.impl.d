@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Expr Literal Symbol

@@ -1,0 +1,1 @@
+lib/core/compile.ml: Expr Format Guard List Literal Symbol Synth

@@ -1,0 +1,1 @@
+lib/core/compile.mli: Expr Format Guard Literal Symbol

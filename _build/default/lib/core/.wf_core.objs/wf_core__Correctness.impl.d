@@ -1,0 +1,1 @@
+lib/core/correctness.ml: Expr Guard List Literal Semantics Synth Universe

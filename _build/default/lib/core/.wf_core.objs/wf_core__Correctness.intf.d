@@ -1,0 +1,1 @@
+lib/core/correctness.mli: Expr Symbol Trace

@@ -1,0 +1,1 @@
+lib/core/formula.ml: Expr Format List Literal Stdlib Symbol

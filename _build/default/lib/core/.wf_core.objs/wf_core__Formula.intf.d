@@ -1,0 +1,1 @@
+lib/core/formula.mli: Expr Format Literal Symbol

@@ -1,0 +1,1 @@
+lib/core/guard.ml: Formula List Literal Nf Option Stdlib Symbol Symbol_state Term Trace Universe

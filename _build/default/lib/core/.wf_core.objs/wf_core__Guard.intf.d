@@ -1,0 +1,1 @@
+lib/core/guard.mli: Format Formula Literal Nf Symbol Symbol_state Term Trace

@@ -1,0 +1,1 @@
+lib/core/knowledge.ml: Fmt Format Guard List Literal Symbol Symbol_state Term

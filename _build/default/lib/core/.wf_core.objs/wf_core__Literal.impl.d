@@ -1,0 +1,1 @@
+lib/core/literal.ml: Format Map Set Stdlib Symbol

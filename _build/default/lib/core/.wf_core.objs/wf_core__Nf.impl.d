@@ -1,0 +1,1 @@
+lib/core/nf.ml: Expr List Literal Option Symbol Term

@@ -1,0 +1,1 @@
+lib/core/nf.mli: Expr Format Literal Symbol Term Trace

@@ -1,0 +1,1 @@
+lib/core/paths.ml: Automaton Guard List Literal Term

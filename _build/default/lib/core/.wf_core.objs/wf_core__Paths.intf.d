@@ -1,0 +1,1 @@
+lib/core/paths.mli: Expr Guard Literal Trace

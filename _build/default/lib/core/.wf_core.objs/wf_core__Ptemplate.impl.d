@@ -1,0 +1,1 @@
+lib/core/ptemplate.ml: Expr Format List Literal Stdlib String Symbol

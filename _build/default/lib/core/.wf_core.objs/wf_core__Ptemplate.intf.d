@@ -1,0 +1,1 @@
+lib/core/ptemplate.mli: Expr Format Literal Symbol

@@ -1,0 +1,1 @@
+lib/core/residue.ml: Expr List Literal Nf Semantics Symbol Term Trace Universe

@@ -1,0 +1,1 @@
+lib/core/residue.mli: Expr Literal Nf Symbol Trace

@@ -1,0 +1,1 @@
+lib/core/symbol.ml: Format Hashtbl Map Printf Set Stdlib String

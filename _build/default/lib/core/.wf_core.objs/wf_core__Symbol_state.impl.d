@@ -1,0 +1,1 @@
+lib/core/symbol_state.ml: Fmt Formula Literal Symbol Trace

@@ -1,0 +1,1 @@
+lib/core/symbol_state.mli: Format Formula Literal Symbol Trace

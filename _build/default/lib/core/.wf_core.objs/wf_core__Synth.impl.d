@@ -1,0 +1,1 @@
+lib/core/synth.ml: Expr Guard List Literal Map Nf Residue Symbol

@@ -1,0 +1,1 @@
+lib/core/synth.mli: Expr Guard Literal Nf

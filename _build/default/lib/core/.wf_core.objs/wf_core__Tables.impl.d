@@ -1,0 +1,1 @@
+lib/core/tables.ml: Array Buffer Char Formula List Printf String Trace Tsemantics Universe

@@ -1,0 +1,1 @@
+lib/core/term.ml: Expr Format List Literal Symbol

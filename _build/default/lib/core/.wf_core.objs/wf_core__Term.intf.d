@@ -1,0 +1,1 @@
+lib/core/term.mli: Expr Format Literal Symbol Trace

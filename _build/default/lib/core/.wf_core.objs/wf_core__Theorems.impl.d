@@ -1,0 +1,1 @@
+lib/core/theorems.ml: Expr Guard List Literal Paths Residue Symbol Synth

@@ -1,0 +1,1 @@
+lib/core/theorems.mli: Expr Guard Literal

@@ -1,0 +1,1 @@
+lib/core/tsemantics.ml: Formula List Symbol Trace Universe

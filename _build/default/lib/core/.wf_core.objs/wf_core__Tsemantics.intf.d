@@ -1,0 +1,1 @@
+lib/core/tsemantics.mli: Formula Symbol Trace

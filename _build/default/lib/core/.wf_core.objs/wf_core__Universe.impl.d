@@ -1,0 +1,1 @@
+lib/core/universe.ml: List Literal Stdlib Symbol Trace

@@ -1,0 +1,216 @@
+type state = int
+
+type t = {
+  states : Nf.t array; (* index = state id; 0 = initial *)
+  alphabet : Literal.t list;
+  edges : state array array; (* edges.(s).(i) = step on alphabet.(i) *)
+  accepting : bool array;
+  dead : bool array;
+  completable : bool array;
+}
+
+let initial _ = 0
+let state_nf t s = t.states.(s)
+let state_expr t s = Nf.to_expr t.states.(s)
+let num_states t = Array.length t.states
+let alphabet t = t.alphabet
+
+let index_in alphabet l =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if Literal.equal x l then Some i else go (i + 1) rest
+  in
+  go 0 alphabet
+
+let step t s l =
+  match index_in t.alphabet l with None -> s | Some i -> t.edges.(s).(i)
+
+let run t u = List.fold_left (step t) 0 u
+let is_accepting t s = t.accepting.(s)
+let is_dead t s = t.dead.(s)
+let can_complete t s = t.completable.(s)
+
+let build d =
+  let alpha_syms = Expr.symbols d in
+  let alphabet = Literal.Set.elements (Expr.literals d) in
+  let d0 = Nf.of_expr d in
+  (* State identity: semantic over the dependency's own alphabet when it
+     is small enough to enumerate; the syntactic canonical form
+     otherwise (sound — at worst a language is represented by more than
+     one state). *)
+  let small = Symbol.Set.cardinal alpha_syms <= 4 in
+  let same a b =
+    Nf.equal a b
+    || (small && Equiv.equal ~alphabet:alpha_syms (Nf.to_expr a) (Nf.to_expr b))
+  in
+  let states = ref [ d0 ] in
+  let nstates = ref 1 in
+  let find_or_add nf_ =
+    let rec go i = function
+      | [] ->
+          states := !states @ [ nf_ ];
+          incr nstates;
+          (!nstates - 1, true)
+      | x :: rest -> if same x nf_ then (i, false) else go (i + 1) rest
+    in
+    go 0 !states
+  in
+  let edges = ref [] in
+  let rec explore frontier =
+    match frontier with
+    | [] -> ()
+    | s :: rest ->
+        let nf_s = List.nth !states s in
+        let new_frontier =
+          List.fold_left
+            (fun acc l ->
+              let nf' = Residue.nf nf_s l in
+              let s', fresh = find_or_add nf' in
+              edges := (s, l, s') :: !edges;
+              if fresh then s' :: acc else acc)
+            [] alphabet
+        in
+        explore (rest @ List.rev new_frontier)
+  in
+  explore [ 0 ];
+  let states = Array.of_list !states in
+  let n = Array.length states in
+  let k = List.length alphabet in
+  let edge_tbl = Array.init n (fun _ -> Array.make k 0) in
+  List.iter
+    (fun (s, l, s') ->
+      match index_in alphabet l with
+      | Some i -> edge_tbl.(s).(i) <- s'
+      | None -> assert false)
+    !edges;
+  let accepting =
+    Array.map
+      (fun nf_ ->
+        Nf.is_top nf_
+        || (small && Equiv.is_top ~alphabet:alpha_syms (Nf.to_expr nf_)))
+      states
+  in
+  let dead =
+    Array.map
+      (fun nf_ ->
+        Nf.is_zero nf_
+        || (small && Equiv.is_zero ~alphabet:alpha_syms (Nf.to_expr nf_)))
+      states
+  in
+  (* Backward reachability from accepting states. *)
+  let completable = Array.copy accepting in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for s = 0 to n - 1 do
+      if not completable.(s) then
+        if Array.exists (fun s' -> completable.(s')) edge_tbl.(s) then begin
+          completable.(s) <- true;
+          changed := true
+        end
+    done
+  done;
+  { states; alphabet; edges = edge_tbl; accepting; dead; completable }
+
+let transitions t =
+  let acc = ref [] in
+  Array.iteri
+    (fun s row ->
+      List.iteri (fun i l -> acc := (s, l, row.(i)) :: !acc) t.alphabet)
+    t.edges;
+  List.rev !acc
+
+let accepted_paths t =
+  (* Depth-first enumeration of symbol-distinct paths reaching ⊤. *)
+  let acc = ref [] in
+  let rec go s path used =
+    if is_accepting t s then acc := List.rev path :: !acc;
+    List.iter
+      (fun l ->
+        let sym = Literal.symbol l in
+        if not (Symbol.Set.mem sym used) then
+          let s' = step t s l in
+          if not (is_dead t s') then go s' (l :: path) (Symbol.Set.add sym used))
+      t.alphabet
+  in
+  go 0 [] Symbol.Set.empty;
+  List.sort_uniq Trace.compare !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun s nf_ ->
+      let tag =
+        if t.accepting.(s) then " (accept)"
+        else if t.dead.(s) then " (dead)"
+        else ""
+      in
+      Format.fprintf ppf "state %d%s: %a@," s tag Nf.pp nf_;
+      List.iteri
+        (fun i l ->
+          let s' = t.edges.(s).(i) in
+          if s' <> s then Format.fprintf ppf "  --%a--> %d@," Literal.pp l s')
+        t.alphabet)
+    t.states;
+  Format.fprintf ppf "@]"
+
+let to_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph scheduler {\n  rankdir=LR;\n";
+  Array.iteri
+    (fun s nf_ ->
+      let shape =
+        if t.accepting.(s) then "doublecircle"
+        else if t.dead.(s) then "box"
+        else "circle"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [shape=%s,label=\"%s\"];\n" s shape
+           (String.escaped (Format.asprintf "%a" Nf.pp nf_))))
+    t.states;
+  List.iter
+    (fun (s, l, s') ->
+      if s <> s' then
+        Buffer.add_string buf
+          (Printf.sprintf "  %d -> %d [label=\"%s\"];\n" s s'
+             (String.escaped (Literal.to_string l))))
+    (transitions t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let required_literals t s0 =
+  let n = Array.length t.states in
+  let all = Literal.Set.of_list t.alphabet in
+  (* Greatest fixpoint: req(accepting) = ∅;
+     req(s) = ⋂ over edges to completable s' of ({l} ∪ req(s')). *)
+  let req = Array.make n all in
+  Array.iteri (fun s acc -> if acc then req.(s) <- Literal.Set.empty) t.accepting;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for s = 0 to n - 1 do
+      if not t.accepting.(s) then begin
+        let meet = ref None in
+        List.iteri
+          (fun i l ->
+            let s' = t.edges.(s).(i) in
+            if t.completable.(s') then begin
+              let through = Literal.Set.add l req.(s') in
+              meet :=
+                Some
+                  (match !meet with
+                  | None -> through
+                  | Some m -> Literal.Set.inter m through)
+            end)
+          t.alphabet;
+        match !meet with
+        | None -> ()
+        | Some m ->
+            if not (Literal.Set.equal m req.(s)) then begin
+              req.(s) <- m;
+              changed := true
+            end
+      end
+    done
+  done;
+  req.(s0)

@@ -1,0 +1,63 @@
+type event_plan = {
+  literal : Literal.t;
+  guard : Guard.t;
+  watched : Symbol.Set.t;
+}
+
+type t = {
+  deps : Expr.t list;
+  alphabet : Symbol.Set.t;
+  table : event_plan Literal.Map.t;
+}
+
+let make_plan deps literal =
+  let guard = Synth.workflow_guard deps literal in
+  let watched =
+    Symbol.Set.remove (Literal.symbol literal) (Guard.symbols guard)
+  in
+  { literal; guard; watched }
+
+let compile deps =
+  let lits =
+    List.fold_left
+      (fun acc d -> Literal.Set.union acc (Expr.literals d))
+      Literal.Set.empty deps
+  in
+  let table =
+    Literal.Set.fold
+      (fun l acc -> Literal.Map.add l (make_plan deps l) acc)
+      lits Literal.Map.empty
+  in
+  let alphabet =
+    Literal.Set.fold
+      (fun l acc -> Symbol.Set.add (Literal.symbol l) acc)
+      lits Symbol.Set.empty
+  in
+  { deps; alphabet; table }
+
+let dependencies t = t.deps
+let alphabet t = t.alphabet
+
+let plan t literal =
+  match Literal.Map.find_opt literal t.table with
+  | Some p -> p
+  | None ->
+      { literal; guard = Guard.top; watched = Symbol.Set.empty }
+
+let plans t = List.map snd (Literal.Map.bindings t.table)
+
+let subscribers t sym =
+  List.filter_map
+    (fun (l, p) -> if Symbol.Set.mem sym p.watched then Some l else None)
+    (Literal.Map.bindings t.table)
+
+let total_guard_size t =
+  List.fold_left (fun acc p -> acc + Guard.size p.guard) 0 (plans t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "G(%a) = %a@," Literal.pp p.literal Guard.pp p.guard)
+    (plans t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,71 @@
+type t =
+  | Zero
+  | Top
+  | Atom of Literal.t
+  | Seq of t * t
+  | Choice of t * t
+  | Conj of t * t
+
+let zero = Zero
+let top = Top
+let atom l = Atom l
+let event name = Atom (Literal.event name)
+let complement name = Atom (Literal.complement_of name)
+
+let seq a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> Zero
+  | Top, e | e, Top -> e
+  | a, b -> Seq (a, b)
+
+let choice a b =
+  match (a, b) with
+  | Zero, e | e, Zero -> e
+  | Top, _ | _, Top -> Top
+  | a, b -> Choice (a, b)
+
+let conj a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> Zero
+  | Top, e | e, Top -> e
+  | a, b -> Conj (a, b)
+
+let seq_all es = List.fold_right seq es Top
+let choice_all es = List.fold_right choice es Zero
+let conj_all es = List.fold_right conj es Top
+
+let rec literals = function
+  | Zero | Top -> Literal.Set.empty
+  | Atom l -> Literal.Set.of_list [ l; Literal.complement l ]
+  | Seq (a, b) | Choice (a, b) | Conj (a, b) ->
+      Literal.Set.union (literals a) (literals b)
+
+let symbols e =
+  Literal.Set.fold
+    (fun l acc -> Symbol.Set.add (Literal.symbol l) acc)
+    (literals e) Symbol.Set.empty
+
+let rec size = function
+  | Zero | Top | Atom _ -> 1
+  | Seq (a, b) | Choice (a, b) | Conj (a, b) -> 1 + size a + size b
+
+let compare = Stdlib.compare
+let equal_syntactic a b = compare a b = 0
+
+(* Precedence: + (lowest), |, · (highest); parenthesize as needed. *)
+let rec pp_prec prec ppf e =
+  let open Format in
+  match e with
+  | Zero -> pp_print_string ppf "0"
+  | Top -> pp_print_string ppf "T"
+  | Atom l -> Literal.pp ppf l
+  | Choice (a, b) ->
+      if prec > 0 then fprintf ppf "(%a + %a)" (pp_prec 0) a (pp_prec 0) b
+      else fprintf ppf "%a + %a" (pp_prec 0) a (pp_prec 0) b
+  | Conj (a, b) ->
+      if prec > 1 then fprintf ppf "(%a | %a)" (pp_prec 1) a (pp_prec 1) b
+      else fprintf ppf "%a | %a" (pp_prec 1) a (pp_prec 1) b
+  | Seq (a, b) -> fprintf ppf "%a.%a" (pp_prec 2) a (pp_prec 2) b
+
+let pp ppf e = pp_prec 0 ppf e
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,343 @@
+type product = {
+  masks : Symbol_state.mask Symbol.Map.t;
+  pending : Term.t list;
+}
+
+type t = product list
+
+(* --- normalization ------------------------------------------------------ *)
+
+let constrain sym mask masks =
+  let current =
+    match Symbol.Map.find_opt sym masks with
+    | Some m -> m
+    | None -> Symbol_state.full
+  in
+  Symbol.Map.add sym (Symbol_state.inter current mask) masks
+
+let rec subsequence sub sup =
+  match (sub, sup) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: sub', y :: sup' ->
+      if Literal.equal x y then subsequence sub' sup' else subsequence sub sup'
+
+(* Fold singleton pending terms into masks, refine masks with the [◇]
+   consequences of multi-literal pending terms, drop implied pending
+   terms, and detect unsatisfiability. *)
+let normalize_product masks pending =
+  let rec split_pending singles multis = function
+    | [] -> (singles, multis)
+    | [ l ] :: rest -> split_pending (l :: singles) multis rest
+    | ([] : Term.t) :: rest -> split_pending singles multis rest
+    | tau :: rest -> split_pending singles (tau :: multis) rest
+  in
+  let singles, multis = split_pending [] [] pending in
+  if not (Nf.product_satisfiable multis) then None
+  else
+    let masks =
+      List.fold_left
+        (fun masks l ->
+          constrain (Literal.symbol l) (Symbol_state.will l.Literal.pol) masks)
+        masks singles
+    in
+    let masks =
+      List.fold_left
+        (fun masks tau ->
+          List.fold_left
+            (fun masks l ->
+              constrain (Literal.symbol l) (Symbol_state.will l.Literal.pol)
+                masks)
+            masks tau)
+        masks multis
+    in
+    if Symbol.Map.exists (fun _ m -> Symbol_state.is_empty m) masks then None
+    else
+      let masks = Symbol.Map.filter (fun _ m -> not (Symbol_state.is_full m)) masks in
+      let multis = List.sort_uniq Term.compare multis in
+      let implied tau =
+        List.exists
+          (fun sigma -> (not (Term.equal tau sigma)) && subsequence tau sigma)
+          multis
+      in
+      let pending = List.filter (fun tau -> not (implied tau)) multis in
+      Some { masks; pending }
+
+let compare_product a b =
+  match Symbol.Map.compare Stdlib.compare a.masks b.masks with
+  | 0 -> List.compare Term.compare a.pending b.pending
+  | c -> c
+
+(* [p] implies [q]: every constraint of [q] is tighter in [p]. *)
+let product_implies p q =
+  Symbol.Map.for_all
+    (fun sym mq ->
+      let mp =
+        match Symbol.Map.find_opt sym p.masks with
+        | Some m -> m
+        | None -> Symbol_state.full
+      in
+      Symbol_state.subset mp mq)
+    q.masks
+  && List.for_all
+       (fun sigma -> List.exists (fun tau -> subsequence sigma tau) p.pending)
+       q.pending
+
+(* Merge two products that differ only in one symbol's mask (and share
+   pending terms): their union is the common product with the mask
+   union, by distributivity. *)
+let try_merge p q =
+  if List.compare Term.compare p.pending q.pending <> 0 then None
+  else
+    let diff =
+      Symbol.Map.merge
+        (fun _ a b ->
+          let a = Option.value a ~default:Symbol_state.full
+          and b = Option.value b ~default:Symbol_state.full in
+          if a = b then None else Some (a, b))
+        p.masks q.masks
+    in
+    match Symbol.Map.bindings diff with
+    | [ (sym, (a, b)) ] ->
+        let merged = constrain sym (Symbol_state.union a b) (Symbol.Map.remove sym p.masks) in
+        let masks = Symbol.Map.filter (fun _ m -> not (Symbol_state.is_full m)) merged in
+        Some { p with masks }
+    | _ -> None
+
+let rec merge_pass acc = function
+  | [] -> List.rev acc
+  | p :: rest -> (
+      let rec find_partner seen = function
+        | [] -> None
+        | q :: qs -> (
+            match try_merge p q with
+            | Some m -> Some (m, List.rev_append seen qs)
+            | None -> find_partner (q :: seen) qs)
+      in
+      match find_partner [] rest with
+      | Some (m, rest') -> merge_pass acc (m :: rest')
+      | None -> merge_pass (p :: acc) rest)
+
+let normalize_sum products =
+  let products = List.sort_uniq compare_product products in
+  let products = merge_pass [] products in
+  let products = List.sort_uniq compare_product products in
+  let absorbed p =
+    List.exists
+      (fun q -> compare_product p q <> 0 && product_implies p q)
+      products
+  in
+  let products = List.filter (fun p -> not (absorbed p)) products in
+  (* A [⊤] product absorbs the whole sum. *)
+  if
+    List.exists
+      (fun p -> Symbol.Map.is_empty p.masks && p.pending = [])
+      products
+  then [ { masks = Symbol.Map.empty; pending = [] } ]
+  else products
+
+(* --- construction ------------------------------------------------------- *)
+
+let top = [ { masks = Symbol.Map.empty; pending = [] } ]
+let bottom = []
+
+let of_mask sym mask =
+  match normalize_product (constrain sym mask Symbol.Map.empty) [] with
+  | None -> bottom
+  | Some p -> [ p ]
+
+let has (l : Literal.t) = of_mask (Literal.symbol l) (Symbol_state.has l.pol)
+let hasnt (l : Literal.t) = of_mask (Literal.symbol l) (Symbol_state.hasnt l.pol)
+let will (l : Literal.t) = of_mask (Literal.symbol l) (Symbol_state.will l.pol)
+
+let will_term (tau : Term.t) =
+  match normalize_product Symbol.Map.empty [ tau ] with
+  | None -> bottom
+  | Some p -> [ p ]
+
+let conj a b =
+  let pairs =
+    List.concat_map
+      (fun p ->
+        List.filter_map
+          (fun q ->
+            let masks =
+              Symbol.Map.fold (fun sym m acc -> constrain sym m acc) q.masks p.masks
+            in
+            normalize_product masks (p.pending @ q.pending))
+          b)
+      a
+  in
+  normalize_sum pairs
+
+let sum a b = normalize_sum (a @ b)
+let conj_all gs = List.fold_left conj top gs
+let sum_all gs = List.fold_left sum bottom gs
+
+let will_nf (nf_ : Nf.t) =
+  (* ◇ distributes over + and | because satisfaction is monotone along a
+     trace: take the max witness index. *)
+  sum_all
+    (List.map
+       (fun prod -> conj_all (List.map will_term prod))
+       nf_)
+
+(* --- inspection --------------------------------------------------------- *)
+
+let is_true g =
+  match g with
+  | [ p ] -> Symbol.Map.is_empty p.masks && p.pending = []
+  | _ -> false
+
+let is_false g = g = []
+let products g = g
+
+let symbols g =
+  List.fold_left
+    (fun acc p ->
+      let acc = Symbol.Map.fold (fun sym _ a -> Symbol.Set.add sym a) p.masks acc in
+      List.fold_left
+        (fun a tau ->
+          List.fold_left
+            (fun a l -> Symbol.Set.add (Literal.symbol l) a)
+            a tau)
+        acc p.pending)
+    Symbol.Set.empty g
+
+let size g =
+  List.fold_left
+    (fun acc p -> acc + Symbol.Map.cardinal p.masks + List.length p.pending)
+    0 g
+
+(* --- semantics ---------------------------------------------------------- *)
+
+let eval_product u i p =
+  Symbol.Map.for_all (fun sym m -> Symbol_state.eval u i sym m) p.masks
+  && List.for_all (fun tau -> Term.satisfies u tau) p.pending
+
+let eval u i g = List.exists (eval_product u i) g
+
+let product_formula p =
+  (* Masks that merely restate the [◇] consequence of a pending term are
+     noise when printing. *)
+  let implied_by_pending sym m =
+    List.exists
+      (fun tau ->
+        List.exists
+          (fun (l : Literal.t) ->
+            Symbol.equal (Literal.symbol l) sym
+            && m = Symbol_state.will l.pol)
+          tau)
+      p.pending
+  in
+  Formula.and_all
+    (Symbol.Map.fold
+       (fun sym m acc ->
+         if implied_by_pending sym m then acc
+         else Symbol_state.to_formula sym m :: acc)
+       p.masks
+       (List.map
+          (fun tau -> Formula.eventually (Formula.of_expr (Term.to_expr tau)))
+          p.pending))
+
+let to_formula g = Formula.or_all (List.map product_formula g)
+
+let equivalent ~alphabet a b =
+  List.for_all
+    (fun u ->
+      let n = Trace.length u in
+      let rec all i = i > n || (eval u i a = eval u i b && all (i + 1)) in
+      all 0)
+    (Universe.maximal_traces alphabet)
+
+(* --- assimilation ------------------------------------------------------- *)
+
+let assimilate_product_occurred (x : Literal.t) p =
+  let sym = Literal.symbol x in
+  let situation =
+    match x.pol with Literal.Pos -> Symbol_state.A | Literal.Neg -> Symbol_state.B
+  in
+  let mask_ok =
+    match Symbol.Map.find_opt sym p.masks with
+    | None -> true
+    | Some m -> Symbol_state.mem situation m
+  in
+  if not mask_ok then None
+  else
+    let masks = Symbol.Map.remove sym p.masks in
+    let rec residuate acc = function
+      | [] -> Some (List.rev acc)
+      | tau :: rest -> (
+          match Term.residue tau x with
+          | None -> None
+          | Some tau' -> residuate (tau' :: acc) rest)
+    in
+    match residuate [] p.pending with
+    | None -> None
+    | Some pending -> normalize_product masks pending
+
+let assimilate_occurred x g =
+  normalize_sum (List.filter_map (assimilate_product_occurred x) g)
+
+let assimilate_product_promise (x : Literal.t) p =
+  let sym = Literal.symbol x in
+  match Symbol.Map.find_opt sym p.masks with
+  | None -> Some p
+  | Some m ->
+      let possible = Symbol_state.possible_after_promise x.pol in
+      if Symbol_state.subset possible m then
+        (* All reachable situations satisfy the constraint: discharged. *)
+        Some { p with masks = Symbol.Map.remove sym p.masks }
+      else
+        let m' = Symbol_state.inter m possible in
+        if Symbol_state.is_empty m' then None
+        else Some { p with masks = Symbol.Map.add sym m' p.masks }
+
+let assimilate_promise x g =
+  normalize_sum (List.filter_map (assimilate_product_promise x) g)
+
+(* --- requirements ------------------------------------------------------- *)
+
+type requirement =
+  | Need_promise of Literal.t
+  | Need_undecided of Symbol.t
+  | Need_wait
+
+let mask_requirement sym m =
+  let open Symbol_state in
+  if subset (possible_after_promise Literal.Pos) m then
+    Need_promise (Literal.pos sym)
+  else if subset (possible_after_promise Literal.Neg) m then
+    Need_promise (Literal.neg sym)
+  else if subset (union (of_situation C) (of_situation D)) m then
+    Need_undecided sym
+  else Need_wait
+
+let product_requirements p =
+  Symbol.Map.fold
+    (fun sym m acc -> mask_requirement sym m :: acc)
+    p.masks
+    (List.map (fun _ -> Need_wait) p.pending)
+
+(* --- comparison and printing ------------------------------------------- *)
+
+let compare = List.compare compare_product
+let equal a b = compare a b = 0
+let pp ppf g = Formula.pp ppf (to_formula g)
+
+let map_symbols f g =
+  let map_lit (l : Literal.t) = { l with Literal.sym = f l.Literal.sym } in
+  normalize_sum
+    (List.filter_map
+       (fun p ->
+         let masks =
+           Symbol.Map.fold
+             (fun sym m acc -> constrain (f sym) m acc)
+             p.masks Symbol.Map.empty
+         in
+         match
+           normalize_product masks (List.map (List.map map_lit) p.pending)
+         with
+         | Some p' -> Some p'
+         | None -> None)
+       g)

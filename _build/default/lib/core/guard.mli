@@ -1,0 +1,106 @@
+(** Guards: the temporal fragment synthesized on events (Sections 4.2–4.3).
+
+    A guard is kept in a disjunctive normal form whose products conjoin
+    - a per-symbol constraint mask (see {!Symbol_state}) capturing the
+      primitive constraints [□x], [¬x], [◇x] and their conjunctions, and
+    - {e pending terms} [◇τ] for multi-event eventualities such as
+      [◇(f·g)] that also constrain order.
+
+    Products over the same symbols merge when they differ in a single
+    symbol's mask (mask union), which yields the succinct guards the
+    paper reports (e.g. [(¬f|¬f̄) + □f̄] collapses to [¬f], Example 9.6).
+
+    Assimilation implements the proof rules of Section 4.3: receiving
+    [□x] reduces subformulas [□x] and [◇x] to [⊤] and [¬x] to [0] (and
+    residuates pending terms); receiving a promise [◇x] reduces [◇x] to
+    [⊤] and leaves [□x] and [¬x] symbolic.
+
+    Assimilation-order requirement: occurrences of literals mentioned by
+    one pending term must be assimilated in their true order of
+    occurrence; the paper's compilation phase "adds messages to ensure"
+    a consistent temporal view, and our scheduler orders announcements
+    with sequence numbers accordingly. *)
+
+type product = {
+  masks : Symbol_state.mask Symbol.Map.t;
+  pending : Term.t list; (* each of length >= 2 *)
+}
+
+type t = product list
+
+(** {1 Construction} *)
+
+val top : t
+val bottom : t
+val of_mask : Symbol.t -> Symbol_state.mask -> t
+val has : Literal.t -> t
+(** [□x]. *)
+
+val hasnt : Literal.t -> t
+(** [¬x]. *)
+
+val will : Literal.t -> t
+(** [◇x]. *)
+
+val will_term : Term.t -> t
+(** [◇τ]: all of τ's literals eventually occur, in τ's order. *)
+
+val will_nf : Nf.t -> t
+(** [◇E] for a normal form [E]; sound because occurrence predicates are
+    monotone along a trace, so [◇] distributes over [+] and [|]. *)
+
+val conj : t -> t -> t
+val sum : t -> t -> t
+val conj_all : t list -> t
+val sum_all : t list -> t
+
+(** {1 Inspection} *)
+
+val is_true : t -> bool
+val is_false : t -> bool
+val products : t -> product list
+val symbols : t -> Symbol.Set.t
+val size : t -> int
+(** Total count of mask constraints and pending terms, for benches. *)
+
+(** {1 Semantics} *)
+
+val eval : Trace.t -> int -> t -> bool
+(** Truth at an index of a maximal trace (used by Definition 4 and the
+    test oracle).  The trace must decide every constrained symbol. *)
+
+val to_formula : t -> Formula.t
+val equivalent : alphabet:Symbol.Set.t -> t -> t -> bool
+
+(** {1 Assimilation (Section 4.3 proof rules)} *)
+
+val assimilate_occurred : Literal.t -> t -> t
+(** The event [x] has occurred ([□x] announcement). *)
+
+val assimilate_promise : Literal.t -> t -> t
+(** The event [x] is guaranteed to occur but has not yet ([◇x]). *)
+
+(** {1 Requirements analysis (drives the runtime protocols)} *)
+
+type requirement =
+  | Need_promise of Literal.t
+      (** a promise [◇x] from [x]'s actor would discharge it *)
+  | Need_undecided of Symbol.t
+      (** agreement that the symbol is still undecided ([¬]-consensus) *)
+  | Need_wait  (** only further occurrences can discharge it *)
+
+val product_requirements : product -> requirement list
+(** One requirement per remaining constraint of the product: what would
+    be needed to fire through this product. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val mask_requirement : Symbol.t -> Symbol_state.mask -> requirement
+(** The discharge mode of a single mask constraint (see
+    {!product_requirements}). *)
+
+val map_symbols : (Symbol.t -> Symbol.t) -> t -> t
+(** Rename every symbol (used to instantiate guard templates, Section 5).
+    The mapping must be injective on the guard's symbols. *)

@@ -1,0 +1,48 @@
+let product p e =
+  (* Rule 5: residuation distributes over [|]; a [0] conjunct kills the
+     product. *)
+  let rec go acc = function
+    | [] -> Nf.normalize_product acc
+    | tm :: rest -> (
+        match Term.residue tm e with
+        | None -> None
+        | Some tm' -> go (tm' :: acc) rest)
+  in
+  go [] p
+
+let nf (t : Nf.t) e : Nf.t =
+  (* Rules 1 and 4: residuation distributes over [+]; [0] summands drop. *)
+  List.fold_left
+    (fun acc p -> match product p e with None -> acc | Some p' -> Nf.sum acc [ p' ])
+    Nf.zero t
+
+let symbolic d e = Nf.to_expr (nf (Nf.of_expr d) e)
+
+let by_trace t u = List.fold_left nf t u
+
+let semantic alphabet d e =
+  let us = Universe.traces alphabet in
+  let sat_e = List.filter (fun u -> Semantics.satisfies u (Expr.Atom e)) us in
+  List.filter
+    (fun v ->
+      List.for_all
+        (fun u ->
+          match Trace.append u v with
+          | None -> true
+          | Some uv -> Semantics.satisfies uv d)
+        sat_e)
+    us
+
+let agrees_with_oracle ?alphabet d e =
+  let alpha =
+    match alphabet with
+    | Some s -> Symbol.Set.add (Literal.symbol e) s
+    | None -> Symbol.Set.add (Literal.symbol e) (Expr.symbols d)
+  in
+  let residual = symbolic d e in
+  let oracle = semantic alpha d e in
+  let relevant v = not (Symbol.Set.mem (Literal.symbol e) (Trace.symbols v)) in
+  List.for_all
+    (fun v ->
+      Semantics.satisfies v residual = List.exists (Trace.equal v) oracle)
+    (List.filter relevant (Universe.traces alpha))

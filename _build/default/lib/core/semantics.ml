@@ -1,0 +1,15 @@
+let rec satisfies u (e : Expr.t) =
+  match e with
+  | Expr.Zero -> false
+  | Expr.Top -> true
+  | Expr.Atom l -> Trace.mem l u
+  | Expr.Choice (a, b) -> satisfies u a || satisfies u b
+  | Expr.Conj (a, b) -> satisfies u a && satisfies u b
+  | Expr.Seq (a, b) ->
+      List.exists (fun (v, w) -> satisfies v a && satisfies w b) (Trace.splits u)
+
+let denotation alphabet e =
+  List.filter (fun u -> satisfies u e) (Universe.traces alphabet)
+
+let maximal_denotation alphabet e =
+  List.filter (fun u -> satisfies u e) (Universe.maximal_traces alphabet)

@@ -1,0 +1,16 @@
+(** Trace semantics of the event algebra (Semantics 1–5).
+
+    [u ⊨ E] relates traces of [U_E] to expressions: an atom is satisfied
+    when its literal occurs on the trace; [E1·E2] when the trace splits
+    into a prefix satisfying [E1] and a suffix satisfying [E2]; [+] and
+    [|] are union and intersection. *)
+
+val satisfies : Trace.t -> Expr.t -> bool
+(** [satisfies u e] is [u ⊨ e]. *)
+
+val denotation : Symbol.Set.t -> Expr.t -> Trace.t list
+(** [⟦E⟧] over the finite universe [U_E] for the given alphabet
+    (the alphabet must contain [Expr.symbols e]). *)
+
+val maximal_denotation : Symbol.Set.t -> Expr.t -> Trace.t list
+(** [⟦E⟧] restricted to maximal traces ([U_T]). *)

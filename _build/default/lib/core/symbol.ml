@@ -1,0 +1,25 @@
+type t = { base : string; args : string list }
+
+let make base = { base; args = [] }
+let parametrized base args = { base; args }
+
+let name t =
+  match t.args with
+  | [] -> t.base
+  | args -> Printf.sprintf "%s(%s)" t.base (String.concat "," args)
+
+let base t = t.base
+let args t = t.args
+let compare a b = Stdlib.compare (a.base, a.args) (b.base, b.args)
+let equal a b = compare a b = 0
+let hash t = Hashtbl.hash (t.base, t.args)
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

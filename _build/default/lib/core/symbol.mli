@@ -1,0 +1,35 @@
+(** Event symbols.
+
+    A symbol names a significant event type of some task, e.g. [s_buy],
+    [c_book], or a ground parametrized event such as [b1(7)] (Section 5 of
+    the paper).  Symbols are totally ordered so they can key maps and sets
+    and so that guard products have a canonical form. *)
+
+type t
+
+val make : string -> t
+(** [make name] is the symbol called [name].  Symbols are compared by
+    name, so [make "e"] always denotes the same symbol. *)
+
+val parametrized : string -> string list -> t
+(** [parametrized base args] is the ground parametrized event symbol
+    [base(arg1,...,argn)], e.g. [parametrized "f" ["3"]] prints as
+    [f(3)].  The base and arguments are recoverable with {!base} and
+    {!args}. *)
+
+val name : t -> string
+(** Full printed name, including any parameter tuple. *)
+
+val base : t -> string
+(** Base name without the parameter tuple. *)
+
+val args : t -> string list
+(** Parameter tuple; [[]] for unparametrized symbols. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,50 @@
+module Key = struct
+  type t = Nf.t * Literal.t
+
+  let compare (n1, l1) (n2, l2) =
+    match Nf.compare n1 n2 with 0 -> Literal.compare l1 l2 | c -> c
+end
+
+module Memo = Map.Make (Key)
+
+let rec guard_memo memo (d : Nf.t) (e : Literal.t) =
+  match Memo.find_opt (d, e) !memo with
+  | Some g -> g
+  | None ->
+      let gamma_de =
+        Literal.Set.elements
+          (Literal.Set.filter
+             (fun l -> not (Symbol.equal (Literal.symbol l) (Literal.symbol e)))
+             (Nf.literals d))
+      in
+      let first =
+        Guard.conj
+          (Guard.will_nf (Residue.nf d e))
+          (Guard.conj_all (List.map Guard.hasnt gamma_de))
+      in
+      let branch f =
+        Guard.conj (Guard.has f) (guard_memo memo (Residue.nf d f) e)
+      in
+      let g = Guard.sum_all (first :: List.map branch gamma_de) in
+      memo := Memo.add (d, e) g !memo;
+      g
+
+let guard_nf d e = guard_memo (ref Memo.empty) d e
+let guard d e = guard_nf (Nf.of_expr d) e
+
+let mentions d e =
+  Literal.Set.mem e (Expr.literals d)
+
+let workflow_guard deps e =
+  Guard.conj_all
+    (List.filter_map
+       (fun d -> if mentions d e then Some (guard d e) else None)
+       deps)
+
+let all_guards deps =
+  let lits =
+    List.fold_left
+      (fun acc d -> Literal.Set.union acc (Expr.literals d))
+      Literal.Set.empty deps
+  in
+  List.map (fun l -> (l, workflow_guard deps l)) (Literal.Set.elements lits)

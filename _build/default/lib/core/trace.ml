@@ -1,0 +1,69 @@
+type t = Literal.t list
+
+let empty = []
+
+let well_formed u =
+  let rec go seen = function
+    | [] -> true
+    | lit :: rest ->
+        let s = Literal.symbol lit in
+        (not (Symbol.Set.mem s seen)) && go (Symbol.Set.add s seen) rest
+  in
+  go Symbol.Set.empty u
+
+let symbols u =
+  List.fold_left (fun acc l -> Symbol.Set.add (Literal.symbol l) acc) Symbol.Set.empty u
+
+let maximal alphabet u = well_formed u && Symbol.Set.subset alphabet (symbols u)
+let mem lit u = List.exists (Literal.equal lit) u
+
+let index_of lit u =
+  let rec go i = function
+    | [] -> None
+    | l :: rest -> if Literal.equal lit l then Some i else go (i + 1) rest
+  in
+  go 1 u
+
+let length = List.length
+
+let prefix i u = List.filteri (fun k _ -> k < i) u
+let suffix j u =
+  let rec drop n = function
+    | rest when n <= 0 -> rest
+    | [] -> []
+    | _ :: rest -> drop (n - 1) rest
+  in
+  drop j u
+
+let splits u =
+  let rec go rev_v w acc =
+    let here = (List.rev rev_v, w) in
+    match w with
+    | [] -> List.rev (here :: acc)
+    | x :: rest -> go (x :: rev_v) rest (here :: acc)
+  in
+  go [] u []
+
+let append u v =
+  let w = u @ v in
+  if well_formed w then Some w else None
+
+let compare = List.compare Literal.compare
+let equal a b = compare a b = 0
+
+let pp ppf u =
+  Format.fprintf ppf "⟨%a⟩"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Literal.pp)
+    u
+
+let to_string u = Format.asprintf "%a" pp u
+
+let of_events names =
+  let lit name =
+    if String.length name > 0 && name.[0] = '~' then
+      Literal.complement_of (String.sub name 1 (String.length name - 1))
+    else Literal.event name
+  in
+  List.map lit names

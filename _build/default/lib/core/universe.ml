@@ -1,0 +1,53 @@
+let of_names names = Symbol.Set.of_list (List.map Symbol.make names)
+
+(* All ways to interleave a new element into a list. *)
+let insertions x xs =
+  let rec go pre post acc =
+    let here = List.rev_append pre (x :: post) in
+    match post with
+    | [] -> List.rev (here :: acc)
+    | y :: rest -> go (y :: pre) rest (here :: acc)
+  in
+  go [] xs []
+
+(* All orderings of all polarity choices of the given symbols. *)
+let rec arrangements = function
+  | [] -> [ [] ]
+  | sym :: rest ->
+      let smaller = arrangements rest in
+      List.concat_map
+        (fun u ->
+          insertions (Literal.pos sym) u @ insertions (Literal.neg sym) u)
+        smaller
+
+(* All subsets of a list. *)
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let smaller = subsets rest in
+      smaller @ List.map (fun s -> x :: s) smaller
+
+let traces alphabet =
+  let syms = Symbol.Set.elements alphabet in
+  let all = List.concat_map arrangements (subsets syms) in
+  List.sort_uniq
+    (fun a b ->
+      match Stdlib.compare (Trace.length a) (Trace.length b) with
+      | 0 -> Trace.compare a b
+      | c -> c)
+    all
+
+let maximal_traces alphabet = arrangements (Symbol.Set.elements alphabet)
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+let rec binomial n k =
+  if k = 0 || k = n then 1
+  else if k < 0 || k > n then 0
+  else binomial (n - 1) (k - 1) + binomial (n - 1) k
+
+let count n =
+  let term k = binomial n k * (1 lsl k) * factorial k in
+  List.fold_left ( + ) 0 (List.init (n + 1) term)
+
+let count_maximal n = (1 lsl n) * factorial n

@@ -1,0 +1,27 @@
+(** Enumeration of the trace universes over a finite alphabet.
+
+    [U_E] (Definition 1) is the set of all well-formed traces; [U_T]
+    (Section 4.1) is its restriction to maximal traces, on which the
+    temporal semantics is evaluated.  Both are finite once the set of
+    event symbols is finite, which lets tests and the equivalence checker
+    decide semantic properties exactly.
+
+    Sizes grow as [Σ_k C(n,k)·2^k·k!] for [U_E] and [2^n·n!] for [U_T];
+    alphabets of up to 6 symbols are practical. *)
+
+val traces : Symbol.Set.t -> Trace.t list
+(** All traces of [U_E] over the alphabet, shortest first.  For the
+    two-symbol alphabet of Example 1 this yields the 13 traces listed in
+    the paper. *)
+
+val maximal_traces : Symbol.Set.t -> Trace.t list
+(** All traces of [U_T] over the alphabet: every symbol decided. *)
+
+val count : int -> int
+(** [count n] is [|U_E|] for an [n]-symbol alphabet. *)
+
+val count_maximal : int -> int
+(** [count_maximal n] is [|U_T|] for an [n]-symbol alphabet. *)
+
+val of_names : string list -> Symbol.Set.t
+(** Convenience: alphabet from symbol names. *)

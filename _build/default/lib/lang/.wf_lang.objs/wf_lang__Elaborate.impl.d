@@ -1,0 +1,1 @@
+lib/lang/elaborate.ml: Agent Ast Attribute Catalog Either List Literal Option Parser Printf Ptemplate Symbol Task_model Wf_core Wf_tasks Workflow_def

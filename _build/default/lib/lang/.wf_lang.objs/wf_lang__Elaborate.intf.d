@@ -1,0 +1,1 @@
+lib/lang/elaborate.mli: Ast Either Expr Ptemplate Wf_core Wf_tasks Workflow_def

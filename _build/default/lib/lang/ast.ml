@@ -1,0 +1,47 @@
+type param = Pvar of string | Pconst of string
+
+type atom = { name : string; params : param list }
+
+type expr =
+  | Zero
+  | Top
+  | Atom of { atom : atom; complemented : bool }
+  | Seq of expr * expr
+  | Choice of expr * expr
+  | Conj of expr * expr
+
+type dep_body =
+  | Expr of expr
+  | Arrow of atom * atom
+  | Order of atom * atom
+  | Use of string * string list
+
+type task_decl = {
+  task_name : string;
+  model_name : string;
+  site : int;
+  script_steps : string list option;
+  on_reject : (string * string) list;
+  loop_count : int option;
+  parametrize : bool;
+}
+
+type item =
+  | Task of task_decl
+  | Dep of string * dep_body
+  | Attr of string * string list
+
+type t = { workflow_name : string; items : item list }
+
+let tasks t =
+  List.filter_map (function Task d -> Some d | Dep _ | Attr _ -> None) t.items
+
+let deps t =
+  List.filter_map
+    (function Dep (n, b) -> Some (n, b) | Task _ | Attr _ -> None)
+    t.items
+
+let attrs t =
+  List.filter_map
+    (function Attr (s, fs) -> Some (s, fs) | Task _ | Dep _ -> None)
+    t.items

@@ -1,0 +1,45 @@
+(** Abstract syntax of workflow specifications.
+
+    A specification names a workflow, declares its tasks (model, site,
+    script), states dependencies — algebra expressions, Klein macros
+    [e -> f] / [e < f], or catalog invocations [use name(task,...)] —
+    and optionally overrides event attributes. *)
+
+type param = Pvar of string | Pconst of string
+
+type atom = { name : string; params : param list }
+
+type expr =
+  | Zero
+  | Top
+  | Atom of { atom : atom; complemented : bool }
+  | Seq of expr * expr
+  | Choice of expr * expr
+  | Conj of expr * expr
+
+type dep_body =
+  | Expr of expr
+  | Arrow of atom * atom  (** Klein's [e -> f] *)
+  | Order of atom * atom  (** Klein's [e < f] *)
+  | Use of string * string list  (** catalog macro over task names *)
+
+type task_decl = {
+  task_name : string;
+  model_name : string;
+  site : int;
+  script_steps : string list option;
+  on_reject : (string * string) list;
+  loop_count : int option;
+  parametrize : bool;
+}
+
+type item =
+  | Task of task_decl
+  | Dep of string * dep_body
+  | Attr of string * string list  (** event symbol, attribute flags *)
+
+type t = { workflow_name : string; items : item list }
+
+val tasks : t -> task_decl list
+val deps : t -> (string * dep_body) list
+val attrs : t -> (string * string list) list

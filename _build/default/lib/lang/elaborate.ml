@@ -1,0 +1,166 @@
+open Wf_core
+open Wf_tasks
+
+type result = {
+  def : Workflow_def.t;
+  templates : (string * Ptemplate.t) list;
+}
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let template_param = function
+  | Ast.Pvar v -> Ptemplate.Var v
+  | Ast.Pconst c -> Ptemplate.Const c
+
+let rec template_of_ast : Ast.expr -> Ptemplate.t = function
+  | Ast.Zero -> Ptemplate.Zero
+  | Ast.Top -> Ptemplate.Top
+  | Ast.Atom { atom; complemented } ->
+      let pol = if complemented then Literal.Neg else Literal.Pos in
+      Ptemplate.Atom
+        {
+          Ptemplate.base = atom.Ast.name;
+          pol;
+          params = List.map template_param atom.Ast.params;
+        }
+  | Ast.Seq (a, b) -> Ptemplate.Seq (template_of_ast a, template_of_ast b)
+  | Ast.Choice (a, b) -> Ptemplate.Choice (template_of_ast a, template_of_ast b)
+  | Ast.Conj (a, b) -> Ptemplate.Conj (template_of_ast a, template_of_ast b)
+
+let expr_of_ast e =
+  let t = template_of_ast e in
+  if Ptemplate.vars t = [] then Either.Left (Ptemplate.instantiate [] t)
+  else Either.Right t
+
+let literal_of_atom (a : Ast.atom) complemented =
+  match List.find_opt (function Ast.Pvar _ -> true | _ -> false) a.Ast.params with
+  | Some _ -> err "macro arguments must be ground (no variables): %s" a.Ast.name
+  | None ->
+      let args =
+        List.map (function Ast.Pconst c -> c | Ast.Pvar _ -> assert false) a.Ast.params
+      in
+      let sym =
+        match args with
+        | [] -> Symbol.make a.Ast.name
+        | args -> Symbol.parametrized a.Ast.name args
+      in
+      if complemented then Literal.neg sym else Literal.pos sym
+
+let catalog_macro name args =
+  match (name, args) with
+  | "commit_order", [ t1; t2 ] -> Catalog.commit_order t1 t2
+  | "strong_commit", [ t1; t2 ] -> Catalog.strong_commit t1 t2
+  | "abort_dependency", [ t1; t2 ] -> Catalog.abort_dependency t1 t2
+  | "weak_abort", [ t1; t2 ] -> Catalog.weak_abort t1 t2
+  | "termination_order", [ t1; t2 ] -> Catalog.termination_order t1 t2
+  | "exclusion", [ t1; t2 ] -> Catalog.exclusion t1 t2
+  | "begin_order", [ t1; t2 ] -> Catalog.begin_order t1 t2
+  | "begin_on_commit", [ t1; t2 ] -> Catalog.begin_on_commit t1 t2
+  | "serial", [ t1; t2 ] -> Catalog.serial t1 t2
+  | "compensate", [ t1; t2 ] -> Catalog.compensate t1 t2
+  | "commit_after_prepared", [ t1; t2 ] -> Catalog.commit_after_prepared t1 t2
+  | "commit_on_commit", [ t1; t2 ] -> Catalog.commit_on_commit t1 t2
+  | "conditional_existence", [ t1; t2; t3 ] ->
+      Catalog.conditional_existence t1 t2 t3
+  | _ ->
+      err "unknown catalog macro %s/%d (see Wf_core.Catalog)" name
+        (List.length args)
+
+let model_of_name = function
+  | "application" -> Task_model.typical_application
+  | "transaction" -> Task_model.transaction
+  | "rda" | "rda_transaction" -> Task_model.rda_transaction
+  | "compensatable" | "compensatable_transaction" ->
+      Task_model.compensatable_transaction
+  | "loop" | "loop_task" -> Task_model.loop_task
+  | name -> err "unknown task model %s" name
+
+let default_script (model : Task_model.t) loop_count =
+  if model.Task_model.name = "loop_task" then
+    Agent.looping (Option.value loop_count ~default:1)
+  else if model.Task_model.name = "application" then
+    Agent.straight_line [ "start"; "finish" ]
+  else Agent.transactional ()
+
+let script_of_decl model (d : Ast.task_decl) =
+  match d.Ast.script_steps with
+  | None -> default_script model d.Ast.loop_count
+  | Some steps ->
+      let base : Agent.script =
+        {
+          Agent.steps;
+          on_reject =
+            (fun ev -> List.assoc_opt ev d.Ast.on_reject);
+          repeat = Option.value d.Ast.loop_count ~default:1;
+        }
+      in
+      base
+
+let attribute_of_flags flags =
+  List.fold_left
+    (fun (attr : Attribute.t) flag ->
+      match flag with
+      | "controllable" -> { attr with Attribute.controllable = true }
+      | "uncontrollable" ->
+          { attr with Attribute.controllable = false; rejectable = false; delayable = false }
+      | "triggerable" -> { attr with Attribute.triggerable = true }
+      | "rejectable" -> { attr with Attribute.rejectable = true }
+      | "nonrejectable" -> { attr with Attribute.rejectable = false }
+      | "delayable" -> { attr with Attribute.delayable = true }
+      | "nondelayable" -> { attr with Attribute.delayable = false }
+      | f -> err "unknown attribute flag %s" f)
+    Attribute.default flags
+
+let dep_of_body name body =
+  match body with
+  | Ast.Use (macro, args) -> Either.Left (catalog_macro macro args)
+  | Ast.Arrow (a, b) ->
+      Either.Left (Catalog.requires (literal_of_atom a false) (literal_of_atom b false))
+  | Ast.Order (a, b) ->
+      Either.Left (Catalog.precedes (literal_of_atom a false) (literal_of_atom b false))
+  | Ast.Expr e -> (
+      match expr_of_ast e with
+      | Either.Left ground -> Either.Left ground
+      | Either.Right template ->
+          ignore name;
+          Either.Right template)
+
+let elaborate (ast : Ast.t) =
+  let tasks =
+    List.map
+      (fun (d : Ast.task_decl) ->
+        let model = model_of_name d.Ast.model_name in
+        Workflow_def.task ~instance:d.Ast.task_name ~model ~site:d.Ast.site
+          ~script:(script_of_decl model d) ~parametrize:d.Ast.parametrize ())
+      (Ast.tasks ast)
+  in
+  let ground, templates =
+    List.fold_left
+      (fun (ground, templates) (name, body) ->
+        match dep_of_body name body with
+        | Either.Left e -> ((name, e) :: ground, templates)
+        | Either.Right t -> (ground, (name, t) :: templates))
+      ([], []) (Ast.deps ast)
+  in
+  let overrides =
+    List.map
+      (fun (sym, flags) -> (Symbol.make sym, attribute_of_flags flags))
+      (Ast.attrs ast)
+  in
+  {
+    def =
+      Workflow_def.make ~name:ast.Ast.workflow_name ~tasks
+        ~deps:(List.rev ground) ~overrides ();
+    templates = List.rev templates;
+  }
+
+let load_string src = elaborate (Parser.parse src)
+
+let load_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  load_string src

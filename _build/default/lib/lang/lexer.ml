@@ -1,0 +1,71 @@
+type error = { message : string; line : int; col : int }
+
+exception Error of error
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokens src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let fail i message =
+    raise (Error { message; line = !line; col = i - !bol + 1 })
+  in
+  let rec go i acc =
+    if i >= n then List.rev ((Token.EOF, !line) :: acc)
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\r' -> go (i + 1) acc
+      | '\n' ->
+          incr line;
+          bol := i + 1;
+          go (i + 1) acc
+      | '#' ->
+          let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+          go (skip i) acc
+      | '{' -> go (i + 1) ((Token.LBRACE, !line) :: acc)
+      | '}' -> go (i + 1) ((Token.RBRACE, !line) :: acc)
+      | '(' -> go (i + 1) ((Token.LPAREN, !line) :: acc)
+      | ')' -> go (i + 1) ((Token.RPAREN, !line) :: acc)
+      | '[' -> go (i + 1) ((Token.LBRACKET, !line) :: acc)
+      | ']' -> go (i + 1) ((Token.RBRACKET, !line) :: acc)
+      | ':' -> go (i + 1) ((Token.COLON, !line) :: acc)
+      | ';' -> go (i + 1) ((Token.SEMI, !line) :: acc)
+      | ',' -> go (i + 1) ((Token.COMMA, !line) :: acc)
+      | '~' -> go (i + 1) ((Token.TILDE, !line) :: acc)
+      | '+' -> go (i + 1) ((Token.PLUS, !line) :: acc)
+      | '.' -> go (i + 1) ((Token.DOT, !line) :: acc)
+      | '|' -> go (i + 1) ((Token.BAR, !line) :: acc)
+      | '<' -> go (i + 1) ((Token.LT, !line) :: acc)
+      | '-' ->
+          if i + 1 < n && src.[i + 1] = '>' then
+            go (i + 2) ((Token.ARROW, !line) :: acc)
+          else fail i "expected '->'"
+      | '"' ->
+          let rec scan j =
+            if j >= n then fail i "unterminated string"
+            else if src.[j] = '"' then j
+            else scan (j + 1)
+          in
+          let close = scan (i + 1) in
+          let s = String.sub src (i + 1) (close - i - 1) in
+          go (close + 1) ((Token.STRING s, !line) :: acc)
+      | c when is_digit c ->
+          let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+          let stop = scan i in
+          let text = String.sub src i (stop - i) in
+          let tok =
+            if text = "0" then Token.ZERO else Token.INT (int_of_string text)
+          in
+          go stop ((tok, !line) :: acc)
+      | c when is_ident_start c ->
+          let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
+          let stop = scan i in
+          let text = String.sub src i (stop - i) in
+          let tok = if text = "T" then Token.TOP else Token.IDENT text in
+          go stop ((tok, !line) :: acc)
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []

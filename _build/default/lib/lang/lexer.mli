@@ -1,0 +1,13 @@
+(** Hand-written lexer for the workflow specification language.
+
+    Comments run from [#] to end of line.  Identifiers are
+    [[A-Za-z_][A-Za-z0-9_]*]; the bare identifiers [T] and the digit [0]
+    are the constants of the algebra. *)
+
+type error = { message : string; line : int; col : int }
+
+exception Error of error
+
+val tokens : string -> (Token.t * int) list
+(** Token stream with line numbers; ends with [EOF].
+    @raise Error on an unexpected character or unterminated string. *)

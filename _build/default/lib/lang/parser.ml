@@ -1,0 +1,269 @@
+type error = { message : string; line : int }
+
+exception Error of error
+
+type state = { mutable toks : (Token.t * int) list }
+
+let peek st = match st.toks with [] -> (Token.EOF, 0) | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st message =
+  let _, line = peek st in
+  raise (Error { message; line })
+
+let expect st tok =
+  let t, _ = peek st in
+  if t = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+         (Token.to_string t))
+
+let ident st =
+  match peek st with
+  | Token.IDENT s, _ ->
+      advance st;
+      s
+  | t, _ -> fail st ("expected identifier, found " ^ Token.to_string t)
+
+let int_lit st =
+  match peek st with
+  | Token.INT n, _ ->
+      advance st;
+      n
+  | Token.ZERO, _ ->
+      advance st;
+      0
+  | t, _ -> fail st ("expected integer, found " ^ Token.to_string t)
+
+(* atom ::= IDENT ("[" p ("," p)* "]")? *)
+let atom st =
+  let name = ident st in
+  match peek st with
+  | Token.LBRACKET, _ ->
+      advance st;
+      let param () =
+        match peek st with
+        | Token.IDENT v, _ ->
+            advance st;
+            Ast.Pvar v
+        | Token.INT n, _ ->
+            advance st;
+            Ast.Pconst (string_of_int n)
+        | Token.ZERO, _ ->
+            advance st;
+            Ast.Pconst "0"
+        | t, _ -> fail st ("expected parameter, found " ^ Token.to_string t)
+      in
+      let rec params acc =
+        let p = param () in
+        match peek st with
+        | Token.COMMA, _ ->
+            advance st;
+            params (p :: acc)
+        | _ -> List.rev (p :: acc)
+      in
+      let ps = params [] in
+      expect st Token.RBRACKET;
+      { Ast.name; params = ps }
+  | _ -> { Ast.name; params = [] }
+
+let rec expr st =
+  let left = conj st in
+  match peek st with
+  | Token.PLUS, _ ->
+      advance st;
+      Ast.Choice (left, expr st)
+  | _ -> left
+
+and conj st =
+  let left = seqexp st in
+  match peek st with
+  | Token.BAR, _ ->
+      advance st;
+      Ast.Conj (left, conj st)
+  | _ -> left
+
+and seqexp st =
+  let left = factor st in
+  match peek st with
+  | Token.DOT, _ ->
+      advance st;
+      Ast.Seq (left, seqexp st)
+  | _ -> left
+
+and factor st =
+  match peek st with
+  | Token.TOP, _ ->
+      advance st;
+      Ast.Top
+  | Token.ZERO, _ ->
+      advance st;
+      Ast.Zero
+  | Token.TILDE, _ ->
+      advance st;
+      let a = atom st in
+      Ast.Atom { atom = a; complemented = true }
+  | Token.LPAREN, _ ->
+      advance st;
+      let e = expr st in
+      expect st Token.RPAREN;
+      e
+  | Token.IDENT _, _ ->
+      let a = atom st in
+      Ast.Atom { atom = a; complemented = false }
+  | t, _ -> fail st ("unexpected token in expression: " ^ Token.to_string t)
+
+let dep_body st =
+  match peek st with
+  | Token.IDENT "use", _ ->
+      advance st;
+      let macro = ident st in
+      expect st Token.LPAREN;
+      let rec args acc =
+        let a = ident st in
+        match peek st with
+        | Token.COMMA, _ ->
+            advance st;
+            args (a :: acc)
+        | _ -> List.rev (a :: acc)
+      in
+      let arguments = args [] in
+      expect st Token.RPAREN;
+      Ast.Use (macro, arguments)
+  | _ -> (
+      let e = expr st in
+      match (e, peek st) with
+      | Ast.Atom { atom = a; complemented = false }, (Token.ARROW, _) ->
+          advance st;
+          let b = atom st in
+          Ast.Arrow (a, b)
+      | Ast.Atom { atom = a; complemented = false }, (Token.LT, _) ->
+          advance st;
+          let b = atom st in
+          Ast.Order (a, b)
+      | _ -> Ast.Expr e)
+
+let split_csv s =
+  List.filter (fun x -> x <> "") (String.split_on_char ',' (String.trim s))
+  |> List.map String.trim
+
+let parse_on_reject st s =
+  List.map
+    (fun pair ->
+      match String.index_opt pair '-' with
+      | Some i
+        when i + 1 < String.length pair
+             && pair.[i + 1] = '>'
+             && i > 0 ->
+          ( String.trim (String.sub pair 0 i),
+            String.trim (String.sub pair (i + 2) (String.length pair - i - 2)) )
+      | _ -> fail st ("malformed onreject pair: " ^ pair))
+    (split_csv s)
+
+let task_decl st =
+  let task_name = ident st in
+  expect st Token.COLON;
+  let model_name = ident st in
+  let decl =
+    ref
+      {
+        Ast.task_name;
+        model_name;
+        site = 0;
+        script_steps = None;
+        on_reject = [];
+        loop_count = None;
+        parametrize = false;
+      }
+  in
+  let rec opts () =
+    match peek st with
+    | Token.IDENT "at", _ ->
+        advance st;
+        decl := { !decl with Ast.site = int_lit st };
+        opts ()
+    | Token.IDENT "script", _ -> (
+        advance st;
+        match peek st with
+        | Token.STRING s, _ ->
+            advance st;
+            decl := { !decl with Ast.script_steps = Some (split_csv s) };
+            opts ()
+        | t, _ -> fail st ("expected script string, found " ^ Token.to_string t))
+    | Token.IDENT "onreject", _ -> (
+        advance st;
+        match peek st with
+        | Token.STRING s, _ ->
+            advance st;
+            decl := { !decl with Ast.on_reject = parse_on_reject st s };
+            opts ()
+        | t, _ ->
+            fail st ("expected onreject string, found " ^ Token.to_string t))
+    | Token.IDENT "loop", _ ->
+        advance st;
+        decl := { !decl with Ast.loop_count = Some (int_lit st) };
+        opts ()
+    | Token.IDENT "param", _ ->
+        advance st;
+        decl := { !decl with Ast.parametrize = true };
+        opts ()
+    | _ -> ()
+  in
+  opts ();
+  expect st Token.SEMI;
+  !decl
+
+let item st =
+  match peek st with
+  | Token.IDENT "task", _ ->
+      advance st;
+      Some (Ast.Task (task_decl st))
+  | Token.IDENT "dep", _ ->
+      advance st;
+      let name = ident st in
+      expect st Token.COLON;
+      let body = dep_body st in
+      expect st Token.SEMI;
+      Some (Ast.Dep (name, body))
+  | Token.IDENT "attr", _ ->
+      advance st;
+      let sym = ident st in
+      let rec flags acc =
+        match peek st with
+        | Token.IDENT f, _ ->
+            advance st;
+            flags (f :: acc)
+        | _ -> List.rev acc
+      in
+      let fs = flags [] in
+      expect st Token.SEMI;
+      Some (Ast.Attr (sym, fs))
+  | Token.RBRACE, _ -> None
+  | t, _ -> fail st ("expected task, dep, or attr; found " ^ Token.to_string t)
+
+let parse src =
+  let st = { toks = Lexer.tokens src } in
+  (match peek st with
+  | Token.IDENT "workflow", _ -> advance st
+  | t, _ -> fail st ("expected 'workflow', found " ^ Token.to_string t));
+  let workflow_name = ident st in
+  expect st Token.LBRACE;
+  let rec items acc =
+    match item st with None -> List.rev acc | Some i -> items (i :: acc)
+  in
+  let all = items [] in
+  expect st Token.RBRACE;
+  (match peek st with
+  | Token.EOF, _ -> ()
+  | t, _ -> fail st ("trailing input: " ^ Token.to_string t));
+  { Ast.workflow_name; items = all }
+
+let parse_expr src =
+  let st = { toks = Lexer.tokens src } in
+  let e = expr st in
+  match peek st with
+  | Token.EOF, _ -> e
+  | t, _ -> fail st ("trailing input: " ^ Token.to_string t)

@@ -1,0 +1,32 @@
+(** Recursive-descent parser for workflow specifications.
+
+    Grammar (operator precedence lowest to highest: [+], [|], [.]):
+    {v
+    spec    ::= "workflow" IDENT "{" item* "}"
+    item    ::= task | dep | attr
+    task    ::= "task" IDENT ":" IDENT
+                ("at" INT)? ("script" STRING)? ("onreject" STRING)?
+                ("loop" INT)? ("param")? ";"
+    dep     ::= "dep" IDENT ":" body ";"
+    body    ::= "use" IDENT "(" IDENT ("," IDENT)* ")"
+              | atom "->" atom | atom "<" atom
+              | expr
+    expr    ::= conj ("+" conj)*
+    conj    ::= seqexp ("|" seqexp)*
+    seqexp  ::= factor ("." factor)*
+    factor  ::= "~"? atom | "T" | "0" | "(" expr ")"
+    atom    ::= IDENT ("[" (IDENT|INT) ("," (IDENT|INT))* "]")?
+    attr    ::= "attr" IDENT IDENT+ ";"
+    v}
+    Script strings are comma-separated event names; onreject strings are
+    comma-separated [event->fallback] pairs. *)
+
+type error = { message : string; line : int }
+
+exception Error of error
+
+val parse : string -> Ast.t
+(** @raise Error on a syntax error, [Lexer.Error] on a lexical one. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a bare dependency expression (used by the CLI and tests). *)

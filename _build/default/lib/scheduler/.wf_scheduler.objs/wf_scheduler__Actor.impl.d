@@ -1,0 +1,1 @@
+lib/scheduler/actor.ml: Attribute Automaton Guard Knowledge List Literal Messages Stdlib Symbol Wf_core Wf_sim Wf_tasks

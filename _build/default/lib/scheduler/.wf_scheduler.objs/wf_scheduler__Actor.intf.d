@@ -1,0 +1,1 @@
+lib/scheduler/actor.mli: Attribute Automaton Guard Knowledge Literal Messages Symbol Wf_core Wf_sim Wf_tasks

@@ -1,0 +1,1 @@
+lib/scheduler/central_sched.ml: Agent Array Attribute Automaton Correctness Event_sched Expr Hashtbl List Literal Symbol Task_model Wf_core Wf_sim Wf_tasks Workflow_def

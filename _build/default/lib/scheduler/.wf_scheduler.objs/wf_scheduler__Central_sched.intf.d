@@ -1,0 +1,1 @@
+lib/scheduler/central_sched.mli: Event_sched Wf_tasks Workflow_def

@@ -1,0 +1,1 @@
+lib/scheduler/event_sched.ml: Actor Agent Attribute Automaton Compile Correctness Expr Fmt Guard Hashtbl Knowledge List Literal Messages Option Symbol Task_model Wf_core Wf_sim Wf_tasks Workflow_def

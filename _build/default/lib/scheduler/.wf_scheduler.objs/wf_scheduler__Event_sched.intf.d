@@ -1,0 +1,1 @@
+lib/scheduler/event_sched.mli: Expr Literal Trace Wf_core Wf_sim Wf_tasks Workflow_def

@@ -1,0 +1,1 @@
+lib/scheduler/messages.ml: Format Literal Symbol Wf_core

@@ -1,0 +1,1 @@
+lib/scheduler/messages.mli: Format Literal Symbol Wf_core

@@ -1,0 +1,1 @@
+lib/scheduler/param_driver.ml: Agent Knowledge List Param_sched Symbol Trace Wf_core Wf_sim Wf_tasks Workflow_def

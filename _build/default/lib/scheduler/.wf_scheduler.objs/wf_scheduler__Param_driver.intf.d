@@ -1,0 +1,1 @@
+lib/scheduler/param_driver.mli: Ptemplate Symbol Trace Wf_core Wf_tasks Workflow_def

@@ -1,0 +1,1 @@
+lib/scheduler/param_sched.ml: Guard Knowledge List Literal Ptemplate String Symbol Synth Wf_core

@@ -1,0 +1,1 @@
+lib/scheduler/param_sched.mli: Guard Knowledge Literal Ptemplate Symbol Trace Wf_core

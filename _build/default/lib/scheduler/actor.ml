@@ -1,0 +1,487 @@
+open Wf_core
+open Wf_tasks
+
+type ctx = {
+  send : Symbol.t -> Messages.t -> unit;
+  fire : Literal.t -> unit;
+  reject : Literal.t -> unit;
+  trigger_task : Literal.t -> bool;
+  stats : Wf_sim.Stats.t;
+}
+
+type parked = { pol : Literal.polarity; via_trigger : bool; guard : Guard.t }
+
+type t = {
+  sym : Symbol.t;
+  site : int;
+  guard_pos : Guard.t;
+  guard_neg : Guard.t;
+  attr_pos : Attribute.t;
+  attr_neg : Attribute.t;
+  demand_automata : Automaton.t list;
+  mutable knowledge : Knowledge.t;
+  mutable reserved : Symbol.Set.t; (* reservations I hold *)
+  mutable reserve_queue : Symbol.t list; (* to acquire, ascending *)
+  mutable reserve_inflight : Symbol.t option;
+  mutable reserve_backoff : Symbol.Set.t;
+  mutable holder : Literal.t option; (* who holds MY symbol *)
+  mutable waiters : Literal.t list; (* denied reservation requesters, FIFO *)
+  mutable parked : parked list;
+  mutable decided_pol : Literal.polarity option;
+  mutable promise_requested : Literal.Set.t;
+  mutable deferred_grants : (Literal.polarity * Literal.t * Literal.t list) list;
+  mutable trigger_engaged : bool;
+}
+
+let create ~sym ~site ~guard_pos ~guard_neg ~attr_pos ~attr_neg
+    ?(demand_automata = []) () =
+  {
+    sym;
+    site;
+    guard_pos;
+    guard_neg;
+    attr_pos;
+    attr_neg;
+    demand_automata;
+    knowledge = Knowledge.empty;
+    reserved = Symbol.Set.empty;
+    reserve_queue = [];
+    reserve_inflight = None;
+    reserve_backoff = Symbol.Set.empty;
+    holder = None;
+    waiters = [];
+    parked = [];
+    decided_pol = None;
+    promise_requested = Literal.Set.empty;
+    deferred_grants = [];
+    trigger_engaged = false;
+  }
+
+let symbol t = t.sym
+let site t = t.site
+let decided t = t.decided_pol
+let parked_count t = List.length t.parked
+let knowledge t = t.knowledge
+
+let lit t pol : Literal.t = { Literal.sym = t.sym; pol }
+let guard_of t = function Literal.Pos -> t.guard_pos | Literal.Neg -> t.guard_neg
+let attr_of t = function Literal.Pos -> t.attr_pos | Literal.Neg -> t.attr_neg
+
+let release_all ctx t =
+  Symbol.Set.iter
+    (fun sym -> ctx.send sym (Messages.Release { sym; holder = lit t Literal.Pos }))
+    t.reserved;
+  t.reserved <- Symbol.Set.empty;
+  t.reserve_queue <- [];
+  t.reserve_inflight <- None
+
+let rec advance_reservations ctx t =
+  match t.reserve_inflight with
+  | Some _ -> ()
+  | None -> (
+      match t.reserve_queue with
+      | [] -> ()
+      | sym :: rest ->
+          if Symbol.Set.mem sym t.reserved || Knowledge.decided t.knowledge sym
+          then begin
+            t.reserve_queue <- rest;
+            advance_reservations ctx t
+          end
+          else begin
+            t.reserve_inflight <- Some sym;
+            ctx.send sym (Messages.Reserve { sym; requester = lit t Literal.Pos })
+          end)
+
+(* Pursue the outstanding requirements of a parked attempt.
+
+   Promises: a promise request is sent to event [x] when [x]'s actual
+   occurrence would make our guard [True] — a granted promise makes the
+   grantee fire at once (see [grant_or_defer]), so the request is
+   productive and the implied offer credible.  This covers both the
+   [◇x]-discharge case of Example 11 and first-occurrence cases like the
+   compensation of Example 4.
+
+   Reservations: [¬f]-style constraints are discharged by holding [f]
+   undecided; reservations are acquired in ascending symbol order. *)
+let pursue ctx t pol g =
+  let needs = Knowledge.needs ~reserved:t.reserved t.knowledge g in
+  let wanted_reserves = ref Symbol.Set.empty in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun sym ->
+          if
+            (not (Symbol.Set.mem sym t.reserved))
+            && not (Symbol.Set.mem sym t.reserve_backoff)
+          then wanted_reserves := Symbol.Set.add sym !wanted_reserves)
+        n.Knowledge.reserves)
+    needs;
+  if not (Symbol.Set.is_empty !wanted_reserves) then begin
+    let queue =
+      List.sort_uniq Symbol.compare
+        (Symbol.Set.elements !wanted_reserves @ t.reserve_queue)
+    in
+    t.reserve_queue <- queue;
+    advance_reservations ctx t
+  end;
+  let reserve_targets =
+    Symbol.Set.union t.reserved
+      (Symbol.Set.union !wanted_reserves (Symbol.Set.of_list t.reserve_queue))
+  in
+  let reserve_targets =
+    match t.reserve_inflight with
+    | Some sym -> Symbol.Set.add sym reserve_targets
+    | None -> reserve_targets
+  in
+  Symbol.Set.iter
+    (fun sym ->
+      if
+        (not (Symbol.equal sym t.sym))
+        && not (Knowledge.decided t.knowledge sym)
+      then
+        List.iter
+          (fun cand_pol ->
+            let cand : Literal.t = { Literal.sym; pol = cand_pol } in
+            (* Escalation order: while a reservation on the symbol is
+               available or in progress, do not ask for its negative
+               eventuality — a ¬-consensus is gentler than forcing the
+               grantee to renounce its event (sacrifice). *)
+            let premature =
+              cand_pol = Literal.Neg && Symbol.Set.mem sym reserve_targets
+            in
+            if (not premature) && not (Literal.Set.mem cand t.promise_requested)
+            then begin
+              (* Request a promise when either the candidate's actual
+                 occurrence or its promise (together with what we hold)
+                 would let us fire. *)
+              let by_occurrence =
+                Knowledge.status ~reserved:t.reserved
+                  (Knowledge.occurred cand ~seqno:max_int t.knowledge)
+                  g
+              in
+              let by_promise =
+                Knowledge.status ~reserved:t.reserved
+                  (Knowledge.promised cand t.knowledge)
+                  g
+              in
+              if by_occurrence = Knowledge.True || by_promise = Knowledge.True
+              then begin
+                t.promise_requested <- Literal.Set.add cand t.promise_requested;
+                Wf_sim.Stats.incr ctx.stats "promise_requests";
+                ctx.send sym
+                  (Messages.Promise_request
+                     { target = cand; requester = lit t pol; offers = [ lit t pol ] })
+              end
+            end)
+          [ Literal.Pos; Literal.Neg ])
+    (Guard.symbols g)
+
+let do_fire ctx t (p : parked) =
+  let l = lit t p.pol in
+  let ok =
+    if p.via_trigger then begin
+      Wf_sim.Stats.incr ctx.stats "triggers";
+      ctx.trigger_task l
+    end
+    else true
+  in
+  if ok then ctx.fire l
+  else Wf_sim.Stats.incr ctx.stats "trigger_faults";
+  release_all ctx t
+
+let rec try_fire ctx t (p : parked) =
+  if not (List.mem p t.parked) then ()
+  else
+    match t.decided_pol with
+    | Some pol when pol = p.pol ->
+        t.parked <- List.filter (fun q -> q <> p) t.parked
+    | Some _ ->
+        t.parked <- List.filter (fun q -> q <> p) t.parked;
+        if not p.via_trigger then ctx.reject (lit t p.pol)
+    | None -> (
+        if t.holder <> None then () (* wait for release *)
+        else
+          match Knowledge.status ~reserved:t.reserved t.knowledge p.guard with
+          | Knowledge.True ->
+              t.parked <- List.filter (fun q -> q <> p) t.parked;
+              do_fire ctx t p
+          | Knowledge.False ->
+              t.parked <- List.filter (fun q -> q <> p) t.parked;
+              if (attr_of t p.pol).Attribute.rejectable then begin
+                if not p.via_trigger then ctx.reject (lit t p.pol)
+              end
+              else begin
+                Wf_sim.Stats.incr ctx.stats "forced_violations";
+                do_fire ctx t p
+              end
+          | Knowledge.Unknown ->
+              Wf_sim.Stats.incr ctx.stats "parked_evaluations";
+              pursue ctx t p.pol p.guard)
+
+and grant_or_defer ctx t (pol, requester, offers) =
+  match t.decided_pol with
+  | Some _ -> () (* the requester hears announcements *)
+  | None ->
+      let existing = List.find_opt (fun p -> p.pol = pol) t.parked in
+      let triggerable = (attr_of t pol).Attribute.triggerable && pol = Literal.Pos in
+      let defer () =
+        t.deferred_grants <-
+          (pol, requester, offers)
+          :: List.filter
+               (fun (q, r, _) -> not (q = pol && Literal.equal r requester))
+               t.deferred_grants
+      in
+      let sacrifice () =
+        (* A request for our complement while our own event is parked:
+           someone can proceed only if we never occur (e.g. exclusion
+           dependencies).  The lower-ordered requester wins: reject our
+           parked attempt so its complement eventually flows. *)
+        match List.find_opt (fun p -> p.pol <> pol && not p.via_trigger) t.parked with
+        | Some p
+          when pol = Literal.Neg
+               && Symbol.compare (Literal.symbol requester) t.sym < 0
+               && (attr_of t p.pol).Attribute.rejectable ->
+            t.parked <- List.filter (fun q -> q <> p) t.parked;
+            Wf_sim.Stats.incr ctx.stats "sacrificed_attempts";
+            ctx.reject (lit t p.pol);
+            true
+        | _ -> false
+      in
+      if existing = None && not triggerable then begin
+        if not (sacrifice ()) then defer ()
+      end
+      else begin
+        let k_promised =
+          List.fold_left (fun k o -> Knowledge.promised o k) t.knowledge offers
+        in
+        let effective =
+          match existing with Some p -> p.guard | None -> guard_of t pol
+        in
+        match Knowledge.status ~reserved:t.reserved k_promised effective with
+        | Knowledge.True -> (
+            (* The offers alone enable us: promise and fire at once
+               (the mutual-[◇] consensus of Example 11). *)
+            t.knowledge <- k_promised;
+            Wf_sim.Stats.incr ctx.stats "promises_granted";
+            ctx.send (Literal.symbol requester)
+              (Messages.Promise { lit = lit t pol; to_ = requester });
+            match existing with
+            | Some p -> try_fire ctx t p
+            | None ->
+                (* Triggerable and enabled: cause the event now. *)
+                let p = { pol; via_trigger = true; guard = guard_of t pol } in
+                t.parked <- p :: t.parked;
+                try_fire ctx t p)
+        | Knowledge.False -> Wf_sim.Stats.incr ctx.stats "promises_refused"
+        | Knowledge.Unknown -> (
+            (* Conditional promise ([14]): if the offered events actually
+               occurring would enable us, promise now and fire when their
+               announcements arrive — "the latter can proceed, generate a
+               message, and thereby cause the first to discharge its
+               promise". *)
+            let k_occurred =
+              List.fold_left
+                (fun k o -> Knowledge.occurred o ~seqno:max_int k)
+                t.knowledge offers
+            in
+            match Knowledge.status ~reserved:t.reserved k_occurred effective with
+            | Knowledge.True ->
+                Wf_sim.Stats.incr ctx.stats "promises_granted_conditional";
+                ctx.send (Literal.symbol requester)
+                  (Messages.Promise { lit = lit t pol; to_ = requester });
+                if existing = None && triggerable then begin
+                  (* Commit to eventually triggering it. *)
+                  t.parked <-
+                    { pol; via_trigger = true; guard = guard_of t pol }
+                    :: t.parked
+                end
+            | Knowledge.False | Knowledge.Unknown -> defer ())
+      end
+
+and check_trigger_demand ctx t =
+  if
+    (not t.trigger_engaged) && t.decided_pol = None
+    && t.attr_pos.Attribute.triggerable
+    && not (List.exists (fun p -> p.pol = Literal.Pos) t.parked)
+  then begin
+    let my_lit = lit t Literal.Pos in
+    let demanded =
+      List.exists
+        (fun aut ->
+          let occurred =
+            List.filter_map
+              (fun l ->
+                match Knowledge.fate_of t.knowledge (Literal.symbol l) with
+                | Some (Knowledge.Occurred (pol, n)) when pol = l.Literal.pol ->
+                    Some (n, l)
+                | _ -> None)
+              (Automaton.alphabet aut)
+          in
+          let trace =
+            List.map snd
+              (List.sort_uniq
+                 (fun (a, _) (b, _) -> Stdlib.compare a b)
+                 occurred)
+          in
+          let state = Automaton.run aut trace in
+          Literal.Set.mem my_lit (Automaton.required_literals aut state))
+        t.demand_automata
+    in
+    if demanded then begin
+      t.trigger_engaged <- true;
+      let p =
+        { pol = Literal.Pos; via_trigger = true; guard = guard_of t Literal.Pos }
+      in
+      t.parked <- p :: t.parked;
+      try_fire ctx t p
+    end
+  end
+
+and re_evaluate ctx t =
+  List.iter (fun p -> try_fire ctx t p) t.parked;
+  let grants = t.deferred_grants in
+  t.deferred_grants <- [];
+  List.iter (fun g -> grant_or_defer ctx t g) grants;
+  check_trigger_demand ctx t
+
+(* Decide a reservation request on our symbol.  Granting to a
+   higher-ordered requester is safe when none of our parked attempts can
+   fire before the requester's event occurs anyway (e.g. the
+   coordinator's commit waits for the participant's prepare): the
+   requester fires on the reservation, which both releases us and
+   supplies the occurrence we were waiting for.  A request that cannot
+   be granted right now queues until the current holder releases. *)
+let rec consider_reservation ctx t requester =
+  let sym = t.sym in
+  if t.decided_pol <> None then begin
+    (* The requester hears the announcement (it watches the symbol). *)
+    Wf_sim.Stats.incr ctx.stats "reservations_denied";
+    ctx.send (Literal.symbol requester)
+      (Messages.Reserve_denied { sym; to_ = requester })
+  end
+  else begin
+    let blocked_without_requester =
+      t.parked <> []
+      && List.for_all
+           (fun p ->
+             Knowledge.status ~reserved:t.reserved
+               ~never:(Symbol.Set.singleton (Literal.symbol requester))
+               t.knowledge p.guard
+             = Knowledge.False)
+           t.parked
+    in
+    let orderly =
+      Symbol.compare (Literal.symbol requester) t.sym < 0
+      || t.parked = [] || blocked_without_requester
+    in
+    if t.holder = None && orderly then begin
+      t.holder <- Some requester;
+      Wf_sim.Stats.incr ctx.stats "reservations_granted";
+      ctx.send (Literal.symbol requester)
+        (Messages.Reserve_granted { sym; to_ = requester })
+    end
+    else if t.holder <> None then
+      (* Busy: queue until the holder releases. *)
+      t.waiters <- t.waiters @ [ requester ]
+    else begin
+      Wf_sim.Stats.incr ctx.stats "reservations_denied";
+      ctx.send (Literal.symbol requester)
+        (Messages.Reserve_denied { sym; to_ = requester })
+    end
+  end
+
+and drain_waiters ctx t =
+  match t.waiters with
+  | [] -> ()
+  | requester :: rest ->
+      t.waiters <- rest;
+      consider_reservation ctx t requester
+
+let attempt ?(entailed = Guard.top) ctx t pol =
+  match t.decided_pol with
+  | Some d when d = pol -> () (* already occurred *)
+  | Some _ -> ctx.reject (lit t pol)
+  | None ->
+      let p =
+        { pol; via_trigger = false; guard = Guard.conj (guard_of t pol) entailed }
+      in
+      if List.exists (fun q -> q.pol = pol && not q.via_trigger) t.parked then ()
+      else begin
+        let attr = attr_of t pol in
+        t.parked <- p :: t.parked;
+        try_fire ctx t p;
+        if List.mem p t.parked then re_evaluate ctx t;
+        (* A non-delayable attempt must be decided immediately: if it is
+           still parked (guard Unknown), reject it when possible, force
+           it through otherwise. *)
+        if (not attr.Attribute.delayable) && List.mem p t.parked then begin
+          t.parked <- List.filter (fun q -> q <> p) t.parked;
+          if attr.Attribute.rejectable then ctx.reject (lit t pol)
+          else begin
+            Wf_sim.Stats.incr ctx.stats "forced_violations";
+            do_fire ctx t p
+          end
+        end
+      end
+
+let note_occurred ctx t l ~seqno =
+  (if Symbol.equal (Literal.symbol l) t.sym then begin
+     t.decided_pol <- Some l.Literal.pol;
+     t.holder <- None
+   end);
+  (try t.knowledge <- Knowledge.occurred l ~seqno t.knowledge
+   with Invalid_argument _ ->
+     Wf_sim.Stats.incr ctx.stats "contradictory_announcements");
+  t.reserve_backoff <- Symbol.Set.empty;
+  t.promise_requested <-
+    Literal.Set.filter
+      (fun x -> not (Symbol.equal (Literal.symbol x) (Literal.symbol l)))
+      t.promise_requested;
+  (* A reservation on a now-decided symbol is moot. *)
+  (match t.reserve_inflight with
+  | Some sym when Symbol.equal sym (Literal.symbol l) -> t.reserve_inflight <- None
+  | _ -> ());
+  re_evaluate ctx t
+
+let handle ctx t msg =
+  match msg with
+  | Messages.Announce { lit = l; seqno } -> note_occurred ctx t l ~seqno
+  | Messages.Promise { lit = l; _ } ->
+      t.knowledge <- Knowledge.promised l t.knowledge;
+      re_evaluate ctx t
+  | Messages.Promise_request { target; requester; offers } ->
+      if Symbol.equal (Literal.symbol target) t.sym then
+        grant_or_defer ctx t (target.Literal.pol, requester, offers)
+  | Messages.Reserve { sym; requester } ->
+      if Symbol.equal sym t.sym then consider_reservation ctx t requester
+  | Messages.Reserve_granted { sym; _ } ->
+      (match t.reserve_inflight with
+      | Some s when Symbol.equal s sym -> t.reserve_inflight <- None
+      | _ -> ());
+      t.reserved <- Symbol.Set.add sym t.reserved;
+      t.reserve_queue <- List.filter (fun s -> not (Symbol.equal s sym)) t.reserve_queue;
+      advance_reservations ctx t;
+      re_evaluate ctx t
+  | Messages.Reserve_denied { sym; _ } ->
+      (match t.reserve_inflight with
+      | Some s when Symbol.equal s sym -> t.reserve_inflight <- None
+      | _ -> ());
+      t.reserve_backoff <- Symbol.Set.add sym t.reserve_backoff;
+      t.reserve_queue <- List.filter (fun s -> not (Symbol.equal s sym)) t.reserve_queue;
+      advance_reservations ctx t
+  | Messages.Release { sym; _ } ->
+      if Symbol.equal sym t.sym then begin
+        t.holder <- None;
+        drain_waiters ctx t;
+        re_evaluate ctx t
+      end
+
+let force_reject_parked ctx t =
+  let parked = t.parked in
+  t.parked <- [];
+  List.iter
+    (fun p ->
+      if not p.via_trigger then ctx.reject (lit t p.pol);
+      Wf_sim.Stats.incr ctx.stats "parked_rejected_at_close")
+    parked;
+  release_all ctx t

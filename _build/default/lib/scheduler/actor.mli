@@ -1,0 +1,82 @@
+open Wf_core
+open Wf_tasks
+
+(** Event actors: "we instantiate an active entity or actor for each
+    event type.  Each actor maintains the current guard for its event
+    and manages its communications" (Section 2).
+
+    One actor governs both polarities of its symbol.  Attempts whose
+    guard is [Unknown] are parked and pursued via the protocols of
+    Section 4.3:
+
+    - {e Promises.}  When a parked product's single remaining
+      requirement is [◇x], the actor sends a promise request to [x]'s
+      actor, offering its own eventuality.  The grantee accepts iff its
+      own guard becomes [True] under the offered promises (it then fires
+      immediately, discharging its obligation); this implements the
+      conditional-promise consensus of Example 11.  Requests are made
+      only when the promise is the last missing piece, which keeps
+      offers credible.
+
+    - {e Reservations.}  A [¬f]-style constraint needs agreement that
+      [f] has not occurred.  The actor asks [f]'s actor to reserve the
+      symbol; while granted, [f] defers its own occurrence, so the
+      holder may fire soundly and then release.  Reservations are
+      acquired in increasing symbol order and granted only to
+      lower-ordered requesters (or when the grantee has nothing parked),
+      which precludes the pairwise deadlocks; any pathological residue
+      is resolved by the driver's end-of-run closing.
+
+    - {e Triggering.}  A triggerable event's actor tracks the residual
+      automata of the dependencies mentioning it and self-attempts once
+      its event is required on every accepting path ("the scheduler
+      causes the events to occur when necessary", Example 4). *)
+
+type ctx = {
+  send : Symbol.t -> Messages.t -> unit;
+      (** route a protocol message to another symbol's actor *)
+  fire : Literal.t -> unit;
+      (** commit an occurrence: the runtime stamps it, informs the
+          agent, and announces it to subscribers *)
+  reject : Literal.t -> unit;  (** permanently forbid an attempt *)
+  trigger_task : Literal.t -> bool;
+      (** cause the event in the owning task; false on a trigger fault *)
+  stats : Wf_sim.Stats.t;
+}
+
+type t
+
+val create :
+  sym:Symbol.t ->
+  site:int ->
+  guard_pos:Guard.t ->
+  guard_neg:Guard.t ->
+  attr_pos:Attribute.t ->
+  attr_neg:Attribute.t ->
+  ?demand_automata:Automaton.t list ->
+  unit ->
+  t
+
+val symbol : t -> Symbol.t
+val site : t -> int
+val decided : t -> Literal.polarity option
+val parked_count : t -> int
+val knowledge : t -> Knowledge.t
+
+val attempt : ?entailed:Guard.t -> ctx -> t -> Literal.polarity -> unit
+(** The agent attempts the event (controllable path).  [entailed] is the
+    conjunction of the guards of the complements the event's transition
+    entails (events it makes unreachable); it is vetted together with
+    the event's own guard. *)
+
+val note_occurred : ctx -> t -> Literal.t -> seqno:int -> unit
+(** An occurrence announcement reached this actor (possibly its own
+    event's); assimilate and re-evaluate parked work. *)
+
+val handle : ctx -> t -> Messages.t -> unit
+val re_evaluate : ctx -> t -> unit
+(** Re-examine parked attempts, deferred promise grants, and trigger
+    demand; called after every knowledge change. *)
+
+val force_reject_parked : ctx -> t -> unit
+(** End-of-run: reject whatever is still parked. *)

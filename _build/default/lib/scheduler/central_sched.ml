@@ -1,0 +1,423 @@
+open Wf_core
+open Wf_tasks
+
+type config = {
+  seed : int64;
+  base_latency : float;
+  jitter : float;
+  think_time : float;
+  max_steps : int;
+}
+
+let default_config =
+  {
+    seed = 42L;
+    base_latency = 1.0;
+    jitter = 0.2;
+    think_time = 0.5;
+    max_steps = 2_000_000;
+  }
+
+type msg =
+  | Attempt of Literal.t * Literal.t list
+    (* agent -> center: the event plus the complements its transition
+       entails (events it would make unreachable) *)
+  | Occurred of Literal.t (* agent -> center (uncontrollable) *)
+  | Accepted of Literal.t (* center -> agent *)
+  | Rejected of Literal.t
+  | Trigger of Literal.t
+
+type dep_state = {
+  dep : Expr.t;
+  automaton : Automaton.t;
+  mutable state : Automaton.state;
+}
+
+type runtime = {
+  wf : Workflow_def.t;
+  cfg : config;
+  net : msg Wf_sim.Netsim.t;
+  deps : dep_state list;
+  agents : (string, Agent.t) Hashtbl.t;
+  agent_site : (string, int) Hashtbl.t;
+  agent_of_symbol : (Symbol.t, string) Hashtbl.t;
+  decided_set : (Symbol.t, unit) Hashtbl.t;
+  mutable parked : (Literal.t * Literal.t list) list;
+  mutable triggered : Literal.Set.t;
+  mutable seqno : int;
+  mutable occurrences : Event_sched.occurrence list; (* newest first *)
+  mutable rejected : Literal.t list;
+}
+
+let central_site = 0
+
+let stats rt = Wf_sim.Netsim.stats rt.net
+let decided rt sym = Hashtbl.mem rt.decided_set sym
+
+let mentions dep lit = Literal.Set.mem lit (Expr.literals dep)
+
+(* Is the event acceptable right now: every affected residual, stepped
+   by the event and then by the complements its transition entails,
+   stays completable? *)
+let acceptable rt lit entailed =
+  List.for_all
+    (fun ds ->
+      let next =
+        List.fold_left
+          (fun st l ->
+            if mentions ds.dep l then Automaton.step ds.automaton st l else st)
+          ds.state (lit :: entailed)
+      in
+      Automaton.can_complete ds.automaton next)
+    rt.deps
+
+(* Accepting an event may create obligations: literals required on every
+   accepting path of some residual.  The center can only vouch for
+   events that occurred, that it can trigger, or that are themselves
+   awaiting acceptance (the centralized analog of the promise
+   consensus); otherwise an uncontrollable event could later force a
+   violation.  [assumed] is the set of parked literals being accepted
+   jointly. *)
+let obligations_after rt lit entailed =
+  List.fold_left
+    (fun acc ds ->
+      let next =
+        List.fold_left
+          (fun st l ->
+            if mentions ds.dep l then Automaton.step ds.automaton st l else st)
+          ds.state (lit :: entailed)
+      in
+      if next <> ds.state || mentions ds.dep lit then
+        Literal.Set.union acc (Automaton.required_literals ds.automaton next)
+      else acc)
+    Literal.Set.empty rt.deps
+
+let obligations_safe rt ~assumed lit entailed =
+  Literal.Set.for_all
+    (fun l ->
+      decided rt (Literal.symbol l)
+      || (Literal.is_pos l
+         && ((Workflow_def.attribute_of rt.wf (Literal.symbol l))
+               .Attribute.triggerable
+            || List.exists (Literal.equal l) assumed)))
+    (obligations_after rt lit entailed)
+
+(* Could the event ever become acceptable: in every affected dependency,
+   some reachable state steps on [lit] to a completable one. *)
+let feasible rt lit =
+  List.for_all
+    (fun ds ->
+      if not (mentions ds.dep lit) then true
+      else begin
+        let aut = ds.automaton in
+        let n = Automaton.num_states aut in
+        let visited = Array.make n false in
+        let rec explore s =
+          if visited.(s) then false
+          else begin
+            visited.(s) <- true;
+            let next = Automaton.step aut s lit in
+            Automaton.can_complete aut next
+            || List.exists
+                 (fun l ->
+                   let s' = Automaton.step aut s l in
+                   (not (Automaton.is_dead aut s')) && explore s')
+                 (Automaton.alphabet aut)
+          end
+        in
+        explore ds.state
+      end)
+    rt.deps
+
+let send_to_agent rt instance m =
+  let site = Hashtbl.find rt.agent_site instance in
+  Wf_sim.Netsim.send rt.net ~src:central_site ~dst:site m
+
+let rec record rt lit =
+  if not (decided rt (Literal.symbol lit)) then begin
+    rt.seqno <- rt.seqno + 1;
+    Hashtbl.replace rt.decided_set (Literal.symbol lit) ();
+    rt.occurrences <-
+      {
+        Event_sched.lit;
+        seqno = rt.seqno;
+        time = Wf_sim.Netsim.now rt.net;
+      }
+      :: rt.occurrences;
+    Wf_sim.Stats.incr (stats rt) "occurrences";
+    List.iter
+      (fun ds ->
+        if mentions ds.dep lit then begin
+          ds.state <- Automaton.step ds.automaton ds.state lit;
+          if Automaton.is_dead ds.automaton ds.state then
+            Wf_sim.Stats.incr (stats rt) "dead_residuals"
+        end)
+      rt.deps;
+    retry_parked rt;
+    fire_triggers rt
+  end
+
+(* Re-examine parked attempts after every state change. *)
+and retry_parked rt =
+  let parked = rt.parked in
+  rt.parked <- [];
+  List.iter (fun (lit, entailed) -> decide rt lit entailed) parked
+
+and decide rt lit entailed =
+  if decided rt (Literal.symbol lit) then begin
+    match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
+    | Some instance -> send_to_agent rt instance (Rejected lit)
+    | None -> ()
+  end
+  else if
+    acceptable rt lit entailed
+    && obligations_safe rt
+         ~assumed:(lit :: List.map fst rt.parked)
+         lit entailed
+  then begin
+    record rt lit;
+    match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
+    | Some instance -> send_to_agent rt instance (Accepted lit)
+    | None -> ()
+  end
+  else if feasible rt lit then begin
+    Wf_sim.Stats.incr (stats rt) "parked_evaluations";
+    rt.parked <- (lit, entailed) :: rt.parked
+  end
+  else begin
+    rt.rejected <- lit :: rt.rejected;
+    Wf_sim.Stats.incr (stats rt) "rejections";
+    match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
+    | Some instance -> send_to_agent rt instance (Rejected lit)
+    | None -> ()
+  end
+
+(* Trigger triggerable events required on every accepting path of some
+   residual. *)
+and fire_triggers rt =
+  List.iter
+    (fun ds ->
+      let required = Automaton.required_literals ds.automaton ds.state in
+      Literal.Set.iter
+        (fun l ->
+          if
+            Literal.is_pos l
+            && (not (decided rt (Literal.symbol l)))
+            && (not (Literal.Set.mem l rt.triggered))
+            && (Workflow_def.attribute_of rt.wf (Literal.symbol l))
+                 .Attribute.triggerable
+          then begin
+            rt.triggered <- Literal.Set.add l rt.triggered;
+            Wf_sim.Stats.incr (stats rt) "triggers";
+            match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol l) with
+            | Some instance -> send_to_agent rt instance (Trigger l)
+            | None -> ()
+          end)
+        required)
+    rt.deps
+
+let rec schedule_agent rt agent =
+  match Agent.want agent with
+  | None -> ()
+  | Some (sym, attr) ->
+      Agent.begin_attempt agent sym;
+      let delay =
+        Wf_sim.Rng.exponential (Wf_sim.Netsim.rng rt.net) ~mean:rt.cfg.think_time
+      in
+      let site = Hashtbl.find rt.agent_site (Agent.instance agent) in
+      Wf_sim.Netsim.schedule rt.net ~delay (fun () ->
+          Wf_sim.Stats.incr (stats rt) "attempts";
+          let m =
+            if attr.Attribute.controllable then
+              Attempt (Literal.pos sym, Agent.would_make_unreachable agent sym)
+            else Occurred (Literal.pos sym)
+          in
+          Wf_sim.Netsim.send rt.net ~src:site ~dst:central_site m;
+          if not attr.Attribute.controllable then begin
+            (* Uncontrollable events take effect at the task at once. *)
+            let complements = Agent.on_accepted agent sym in
+            List.iter
+              (fun c ->
+                Wf_sim.Netsim.send rt.net ~src:site ~dst:central_site
+                  (Occurred c))
+              complements;
+            schedule_agent rt agent
+          end)
+
+let agent_handle rt agent m =
+  match m with
+  | Accepted lit ->
+      let site = Hashtbl.find rt.agent_site (Agent.instance agent) in
+      let complements = Agent.on_accepted agent (Literal.symbol lit) in
+      List.iter
+        (fun c ->
+          Wf_sim.Netsim.send rt.net ~src:site ~dst:central_site (Occurred c))
+        complements;
+      schedule_agent rt agent
+  | Rejected lit ->
+      Agent.on_rejected agent (Literal.symbol lit);
+      schedule_agent rt agent
+  | Trigger lit -> (
+      let site = Hashtbl.find rt.agent_site (Agent.instance agent) in
+      match Agent.trigger agent (Literal.symbol lit) with
+      | None -> Wf_sim.Stats.incr (stats rt) "trigger_faults"
+      | Some complements ->
+          Wf_sim.Netsim.send rt.net ~src:site ~dst:central_site (Occurred lit);
+          List.iter
+            (fun c ->
+              Wf_sim.Netsim.send rt.net ~src:site ~dst:central_site (Occurred c))
+            complements;
+          schedule_agent rt agent)
+  | Attempt _ | Occurred _ -> ()
+
+let run ?(config = default_config) wf =
+  (match Workflow_def.validate wf with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Central_sched.run: " ^ msg));
+  let deps_exprs = Workflow_def.dependencies wf in
+  let num_sites = max 1 (Workflow_def.num_sites wf) in
+  let net =
+    Wf_sim.Netsim.create ~seed:config.seed ~num_sites
+      ~latency:
+        (Wf_sim.Netsim.uniform_latency ~base:config.base_latency
+           ~jitter:config.jitter)
+      ()
+  in
+  let rt =
+    {
+      wf;
+      cfg = config;
+      net;
+      deps =
+        List.map
+          (fun d -> { dep = d; automaton = Automaton.build d; state = 0 })
+          deps_exprs;
+      agents = Hashtbl.create 16;
+      agent_site = Hashtbl.create 16;
+      agent_of_symbol = Hashtbl.create 64;
+      decided_set = Hashtbl.create 64;
+      parked = [];
+      triggered = Literal.Set.empty;
+      seqno = 0;
+      occurrences = [];
+      rejected = [];
+    }
+  in
+  List.iter
+    (fun (task : Workflow_def.task) ->
+      let agent =
+        Agent.create ~instance:task.instance ~model:task.model
+          ~script:task.script ~parametrize:task.parametrize ()
+      in
+      Hashtbl.replace rt.agents task.instance agent;
+      Hashtbl.replace rt.agent_site task.instance task.site;
+      List.iter
+        (fun (ev, _, _) ->
+          let sym =
+            Task_model.symbol_of_event task.model ~instance:task.instance ev
+          in
+          Hashtbl.replace rt.agent_of_symbol sym task.instance)
+        task.model.Task_model.significant)
+    wf.Workflow_def.tasks;
+  (* Message dispatch: requests are handled by the center; replies are
+     routed to the owning agent by the literal they carry. *)
+  for site = 0 to num_sites - 1 do
+    Wf_sim.Netsim.on_receive net site (fun _src m ->
+        match m with
+        | Attempt (lit, entailed) ->
+            if site = central_site then decide rt lit entailed
+        | Occurred lit -> if site = central_site then record rt lit
+        | Accepted lit | Rejected lit | Trigger lit -> (
+            match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
+            | Some instance ->
+                agent_handle rt (Hashtbl.find rt.agents instance) m
+            | None -> ()))
+  done;
+  Hashtbl.iter (fun _ agent -> schedule_agent rt agent) rt.agents;
+  Wf_sim.Netsim.run ~max_steps:config.max_steps rt.net;
+  (* Closing: complements of events that can no longer occur, then
+     reject leftover parked attempts, then decide leftovers negatively. *)
+  let close_round () =
+    let progress = ref false in
+    Hashtbl.iter
+      (fun _ agent ->
+        if Agent.finished agent then
+          List.iter
+            (fun c ->
+              let sym = Literal.symbol c in
+              if
+                (not (decided rt sym))
+                && not
+                     (List.exists
+                        (fun (l, _) -> Symbol.equal (Literal.symbol l) sym)
+                        rt.parked)
+              then begin
+                record rt c;
+                progress := true
+              end)
+            (Agent.undecided_complements agent))
+      rt.agents;
+    !progress
+  in
+  let rec close_loop budget =
+    if budget > 0 && close_round () then begin
+      Wf_sim.Netsim.run ~max_steps:config.max_steps rt.net;
+      close_loop (budget - 1)
+    end
+  in
+  close_loop 64;
+  (* Reject parked attempts one at a time, lowest symbol first, letting
+     each rejection's consequences propagate before the next. *)
+  let rec reject_loop budget =
+    if budget > 0 then
+      match
+        List.sort
+          (fun (l1, _) (l2, _) -> Literal.compare l1 l2)
+          rt.parked
+      with
+      | [] -> ()
+      | (lit, entailed) :: _ ->
+          rt.parked <-
+            List.filter (fun (l, _) -> not (Literal.equal l lit)) rt.parked;
+          ignore entailed;
+          rt.rejected <- lit :: rt.rejected;
+          (match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
+          | Some instance -> send_to_agent rt instance (Rejected lit)
+          | None -> ());
+          Wf_sim.Netsim.run ~max_steps:config.max_steps rt.net;
+          close_loop 16;
+          reject_loop (budget - 1)
+  in
+  reject_loop 256;
+  let all_symbols =
+    List.fold_left
+      (fun acc ds -> Symbol.Set.union acc (Expr.symbols ds.dep))
+      Symbol.Set.empty rt.deps
+  in
+  let rec neg_loop budget =
+    match
+      List.sort Symbol.compare
+        (Symbol.Set.elements
+           (Symbol.Set.filter (fun sym -> not (decided rt sym)) all_symbols))
+    with
+    | [] -> ()
+    | sym :: _ when budget > 0 ->
+        record rt (Literal.neg sym);
+        Wf_sim.Netsim.run ~max_steps:config.max_steps rt.net;
+        close_loop 16;
+        reject_loop 64;
+        neg_loop (budget - 1)
+    | _ -> ()
+  in
+  neg_loop 1024;
+  let trace = List.rev_map (fun o -> o.Event_sched.lit) rt.occurrences in
+  let violations = Correctness.violations deps_exprs trace in
+  {
+    Event_sched.trace = List.rev rt.occurrences;
+    stats = stats rt;
+    makespan = Wf_sim.Netsim.now rt.net;
+    satisfied = violations = [];
+    violations;
+    generated = None;
+    rejected = List.rev rt.rejected;
+  }

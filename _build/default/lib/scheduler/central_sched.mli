@@ -1,0 +1,28 @@
+open Wf_tasks
+
+(** The centralized dependency-centric scheduler — the baseline the
+    paper argues against ("that approach would suffer from all the
+    problems attendant to centralization", Section 4) and the style of
+    the earlier automaton-based approach [2].
+
+    All dependencies live at site 0 as residual automata (Figure 2 /
+    Example 5).  Every attempt travels to the center and back; the
+    center accepts an event iff every affected residual stays
+    completable, parks it otherwise, and rejects it once no future can
+    make it acceptable.  Triggerable events are triggered when a
+    residual requires them on every accepting path.
+
+    The result type matches {!Event_sched.result} so benches can compare
+    message counts, makespan, and site load directly. *)
+
+type config = {
+  seed : int64;
+  base_latency : float;
+  jitter : float;
+  think_time : float;
+  max_steps : int;
+}
+
+val default_config : config
+
+val run : ?config:config -> Workflow_def.t -> Event_sched.result

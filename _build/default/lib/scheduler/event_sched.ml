@@ -1,0 +1,434 @@
+open Wf_core
+open Wf_tasks
+
+type config = {
+  seed : int64;
+  base_latency : float;
+  jitter : float;
+  think_time : float;
+  max_steps : int;
+  check_generates : bool;
+  on_event : occurrence -> unit;
+}
+
+and occurrence = { lit : Literal.t; seqno : int; time : float }
+
+let default_config =
+  {
+    seed = 42L;
+    base_latency = 1.0;
+    jitter = 0.2;
+    think_time = 0.5;
+    max_steps = 2_000_000;
+    check_generates = false;
+    on_event = (fun _ -> ());
+  }
+
+type result = {
+  trace : occurrence list;
+  stats : Wf_sim.Stats.t;
+  makespan : float;
+  satisfied : bool;
+  violations : Expr.t list;
+  generated : bool option;
+  rejected : Literal.t list;
+}
+
+type runtime = {
+  wf : Workflow_def.t;
+  cfg : config;
+  net : (Symbol.t * Messages.t) Wf_sim.Netsim.t;
+  compiled : Compile.t;
+  actors : (Symbol.t, Actor.t) Hashtbl.t;
+  agents : (string, Agent.t) Hashtbl.t;
+  agent_of_symbol : (Symbol.t, string) Hashtbl.t;
+  subscriptions : (Symbol.t, Symbol.Set.t) Hashtbl.t;
+  pending_trigger_complements : (Symbol.t, Literal.t list) Hashtbl.t;
+  decided_set : (Symbol.t, unit) Hashtbl.t;
+  mutable seqno : int;
+  mutable occurrences : occurrence list; (* newest first *)
+  mutable rejected : Literal.t list;
+}
+
+let stats rt = Wf_sim.Netsim.stats rt.net
+
+let decided_globally rt sym = Hashtbl.mem rt.decided_set sym
+
+let actor_of rt sym =
+  match Hashtbl.find_opt rt.actors sym with
+  | Some a -> a
+  | None -> Fmt.invalid_arg "no actor for %a" Symbol.pp sym
+
+let subscribers_of rt sym =
+  Option.value (Hashtbl.find_opt rt.subscriptions sym) ~default:Symbol.Set.empty
+
+(* Per-actor context: messages originate at the actor's site. *)
+let rec ctx_for rt (actor : Actor.t) : Actor.ctx =
+  {
+    Actor.send =
+      (fun dst msg ->
+        let dst_site = Actor.site (actor_of rt dst) in
+        Wf_sim.Netsim.send rt.net ~src:(Actor.site actor) ~dst:dst_site
+          (dst, msg);
+        Wf_sim.Stats.incr (stats rt) ("msg_" ^ Messages.label msg));
+    Actor.fire = (fun lit -> fire rt lit);
+    Actor.reject = (fun lit -> reject rt lit);
+    Actor.trigger_task = (fun lit -> trigger_task rt lit);
+    Actor.stats = stats rt;
+  }
+
+and fire rt lit =
+  let sym = Literal.symbol lit in
+  if decided_globally rt sym then ()
+  else begin
+    rt.seqno <- rt.seqno + 1;
+    let seqno = rt.seqno in
+    let time = Wf_sim.Netsim.now rt.net in
+    let occurrence = { lit; seqno; time } in
+    rt.occurrences <- occurrence :: rt.occurrences;
+    Hashtbl.replace rt.decided_set (Literal.symbol lit) ();
+    rt.cfg.on_event occurrence;
+    Wf_sim.Stats.incr (stats rt) "occurrences";
+    (* Own actor learns first (it hosts the event). *)
+    let actor = actor_of rt sym in
+    Actor.note_occurred (ctx_for rt actor) actor lit ~seqno;
+    (* The owning agent advances; triggered transitions already advanced
+       the agent, so use the stashed complements instead. *)
+    let complements =
+      match Hashtbl.find_opt rt.pending_trigger_complements sym with
+      | Some cs ->
+          Hashtbl.remove rt.pending_trigger_complements sym;
+          cs
+      | None -> (
+          if not (Literal.is_pos lit) then []
+          else
+            match Hashtbl.find_opt rt.agent_of_symbol sym with
+            | None -> []
+            | Some instance ->
+                let agent = Hashtbl.find rt.agents instance in
+                let cs = Agent.on_accepted agent sym in
+                schedule_agent rt agent;
+                cs)
+    in
+    (* Announce to every subscriber actor. *)
+    Symbol.Set.iter
+      (fun watcher_sym ->
+        if not (Symbol.equal watcher_sym sym) then begin
+          let dst_site = Actor.site (actor_of rt watcher_sym) in
+          Wf_sim.Netsim.send rt.net ~src:(Actor.site actor) ~dst:dst_site
+            (watcher_sym, Messages.Announce { lit; seqno });
+          Wf_sim.Stats.incr (stats rt) "msg_announce"
+        end)
+      (subscribers_of rt sym);
+    (* Newly impossible events: their complements occur. *)
+    List.iter (fun c -> fire rt c) complements
+  end
+
+and reject rt lit =
+  rt.rejected <- lit :: rt.rejected;
+  Wf_sim.Stats.incr (stats rt) "rejections";
+  match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
+  | None -> ()
+  | Some instance ->
+      let agent = Hashtbl.find rt.agents instance in
+      Agent.on_rejected agent (Literal.symbol lit);
+      schedule_agent rt agent
+
+and trigger_task rt lit =
+  match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
+  | None -> false
+  | Some instance -> (
+      let agent = Hashtbl.find rt.agents instance in
+      match Agent.trigger agent (Literal.symbol lit) with
+      | None -> false
+      | Some complements ->
+          Hashtbl.replace rt.pending_trigger_complements (Literal.symbol lit)
+            complements;
+          schedule_agent rt agent;
+          true)
+
+and schedule_agent rt agent =
+  match Agent.want agent with
+  | None -> ()
+  | Some (sym, attr) ->
+      Agent.begin_attempt agent sym;
+      let delay =
+        Wf_sim.Rng.exponential (Wf_sim.Netsim.rng rt.net) ~mean:rt.cfg.think_time
+      in
+      Wf_sim.Netsim.schedule rt.net ~delay (fun () ->
+          Wf_sim.Stats.incr (stats rt) "attempts";
+          if attr.Attribute.controllable then begin
+            let actor = actor_of rt sym in
+            (* Vet the complements the transition entails together with
+               the event's own guard: committing must be allowed to
+               preclude aborting, etc. *)
+            let entailed =
+              Guard.conj_all
+                (List.map
+                   (fun c -> (Compile.plan rt.compiled c).Compile.guard)
+                   (Agent.would_make_unreachable agent sym))
+            in
+            Actor.attempt ~entailed (ctx_for rt actor) actor Literal.Pos
+          end
+          else begin
+            (* Uncontrollable: announced, not requested.  Record a
+               violation if the guard would have said no. *)
+            let actor = actor_of rt sym in
+            (match
+               Knowledge.status (Actor.knowledge actor)
+                 (Compile.plan rt.compiled (Literal.pos sym)).Compile.guard
+             with
+            | Knowledge.False ->
+                Wf_sim.Stats.incr (stats rt) "uncontrollable_violations"
+            | _ -> ());
+            fire rt (Literal.pos sym)
+          end)
+
+let build cfg wf =
+  let deps = Workflow_def.dependencies wf in
+  let compiled = Compile.compile deps in
+  let num_sites = Workflow_def.num_sites wf in
+  let net =
+    Wf_sim.Netsim.create ~seed:cfg.seed ~num_sites
+      ~latency:
+        (Wf_sim.Netsim.uniform_latency ~base:cfg.base_latency ~jitter:cfg.jitter)
+      ()
+  in
+  let rt =
+    {
+      wf;
+      cfg;
+      net;
+      compiled;
+      actors = Hashtbl.create 64;
+      agents = Hashtbl.create 16;
+      agent_of_symbol = Hashtbl.create 64;
+      subscriptions = Hashtbl.create 64;
+      pending_trigger_complements = Hashtbl.create 8;
+      decided_set = Hashtbl.create 64;
+      seqno = 0;
+      occurrences = [];
+      rejected = [];
+    }
+  in
+  (* Agents. *)
+  List.iter
+    (fun (task : Workflow_def.task) ->
+      let agent =
+        Agent.create ~instance:task.instance ~model:task.model
+          ~script:task.script ~parametrize:task.parametrize ()
+      in
+      Hashtbl.replace rt.agents task.instance agent;
+      List.iter
+        (fun (ev, _, _) ->
+          let sym =
+            Task_model.symbol_of_event task.model ~instance:task.instance ev
+          in
+          Hashtbl.replace rt.agent_of_symbol sym task.instance)
+        task.model.Task_model.significant)
+    wf.Workflow_def.tasks;
+  (* The symbols needing actors: dependency alphabet plus all task
+     events (unmentioned ones get guard ⊤). *)
+  let symbols =
+    Hashtbl.fold (fun sym _ acc -> Symbol.Set.add sym acc) rt.agent_of_symbol
+      (Compile.alphabet compiled)
+  in
+  (* Demand automata for triggerable events. *)
+  let automata = List.map (fun d -> (d, Automaton.build d)) deps in
+  Symbol.Set.iter
+    (fun sym ->
+      let attr = Workflow_def.attribute_of wf sym in
+      let attr_pos = attr in
+      let attr_neg = Attribute.uncontrollable in
+      let plan_pos = Compile.plan compiled (Literal.pos sym) in
+      let plan_neg = Compile.plan compiled (Literal.neg sym) in
+      let demand_automata =
+        if attr.Attribute.triggerable then
+          List.filter_map
+            (fun (d, aut) ->
+              if Literal.Set.mem (Literal.pos sym) (Expr.literals d) then
+                Some aut
+              else None)
+            automata
+        else []
+      in
+      let actor =
+        Actor.create ~sym ~site:(Workflow_def.site_of wf sym)
+          ~guard_pos:plan_pos.Compile.guard ~guard_neg:plan_neg.Compile.guard
+          ~attr_pos ~attr_neg ~demand_automata ()
+      in
+      Hashtbl.replace rt.actors sym actor;
+      (* Subscriptions: guard symbols of both polarities, the full
+         alphabet of the demand automata, and the guards of complements
+         the owning task's transitions may entail. *)
+      let watch =
+        Symbol.Set.union plan_pos.Compile.watched plan_neg.Compile.watched
+      in
+      let watch =
+        match Workflow_def.owner_of wf sym with
+        | None -> watch
+        | Some task ->
+            let model = task.Workflow_def.model in
+            (match
+               Task_model.event_of_symbol model ~instance:task.Workflow_def.instance
+                 (Symbol.make (Symbol.base sym))
+             with
+            | None -> watch
+            | Some ev ->
+                List.fold_left
+                  (fun acc (tr : Task_model.transition) ->
+                    if tr.Task_model.event <> ev then acc
+                    else
+                      let before =
+                        Task_model.unreachable_events model tr.Task_model.from_state
+                      in
+                      let after =
+                        Task_model.unreachable_events model tr.Task_model.to_state
+                      in
+                      List.fold_left
+                        (fun acc gone ->
+                          if List.mem gone before then acc
+                          else
+                            let gone_sym =
+                              Task_model.symbol_of_event model
+                                ~instance:task.Workflow_def.instance gone
+                            in
+                            Symbol.Set.union acc
+                              (Compile.plan compiled (Literal.neg gone_sym))
+                                .Compile.watched)
+                        acc after)
+                  watch model.Task_model.transitions)
+      in
+      let watch =
+        List.fold_left
+          (fun acc aut ->
+            List.fold_left
+              (fun acc l -> Symbol.Set.add (Literal.symbol l) acc)
+              acc (Automaton.alphabet aut))
+          watch demand_automata
+      in
+      Symbol.Set.iter
+        (fun watched_sym ->
+          if not (Symbol.equal watched_sym sym) then
+            let current =
+              Option.value
+                (Hashtbl.find_opt rt.subscriptions watched_sym)
+                ~default:Symbol.Set.empty
+            in
+            Hashtbl.replace rt.subscriptions watched_sym
+              (Symbol.Set.add sym current))
+        watch)
+    symbols;
+  (* Site message dispatch. *)
+  for site = 0 to num_sites - 1 do
+    Wf_sim.Netsim.on_receive net site (fun _src (target, msg) ->
+        let actor = actor_of rt target in
+        Actor.handle (ctx_for rt actor) actor msg)
+  done;
+  rt
+
+let close_round rt =
+  (* Emit complements of events that can no longer occur. *)
+  let progress = ref false in
+  Hashtbl.iter
+    (fun _ agent ->
+      if Agent.finished agent then
+        List.iter
+          (fun c ->
+            let sym = Literal.symbol c in
+            if
+              Hashtbl.mem rt.actors sym
+              && (not (decided_globally rt sym))
+              && Actor.parked_count (actor_of rt sym) = 0
+            then begin
+              fire rt c;
+              progress := true
+            end)
+          (Agent.undecided_complements agent))
+    rt.agents;
+  !progress
+
+let rec close_rounds rt budget =
+  if budget > 0 && close_round rt then begin
+    Wf_sim.Netsim.run ~max_steps:rt.cfg.max_steps rt.net;
+    close_rounds rt (budget - 1)
+  end
+
+let final_close rt =
+  (* Reject whatever is still parked — one symbol at a time, lowest
+     first, letting each rejection's consequences (agent fallbacks,
+     announcements) propagate before the next: a rejected commit's
+     fallback abort routinely unblocks other parked events. *)
+  let rec reject_loop budget =
+    if budget > 0 then begin
+      let parked_actors =
+        Hashtbl.fold
+          (fun sym actor acc ->
+            if Actor.parked_count actor > 0 then (sym, actor) :: acc else acc)
+          rt.actors []
+      in
+      match
+        List.sort (fun (s1, _) (s2, _) -> Symbol.compare s1 s2) parked_actors
+      with
+      | [] -> ()
+      | (_, actor) :: _ ->
+          Actor.force_reject_parked (ctx_for rt actor) actor;
+          Wf_sim.Netsim.run ~max_steps:rt.cfg.max_steps rt.net;
+          close_rounds rt 16;
+          reject_loop (budget - 1)
+    end
+  in
+  reject_loop 256;
+  (* Then decide leftover symbols negatively so the realized trace is
+     maximal, again letting each round settle. *)
+  let rec neg_loop budget =
+    let undecided =
+      Hashtbl.fold
+        (fun sym _ acc ->
+          if decided_globally rt sym then acc else sym :: acc)
+        rt.actors []
+    in
+    match List.sort Symbol.compare undecided with
+    | [] -> ()
+    | sym :: _ when budget > 0 ->
+        fire rt (Literal.neg sym);
+        Wf_sim.Netsim.run ~max_steps:rt.cfg.max_steps rt.net;
+        close_rounds rt 16;
+        reject_loop 64;
+        neg_loop (budget - 1)
+    | _ -> ()
+  in
+  neg_loop 1024
+
+let trace_of rt =
+  List.rev_map (fun o -> o.lit) rt.occurrences
+
+let run ?(config = default_config) wf =
+  (match Workflow_def.validate wf with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Event_sched.run: " ^ msg));
+  let rt = build config wf in
+  (* Kick off every agent. *)
+  Hashtbl.iter (fun _ agent -> schedule_agent rt agent) rt.agents;
+  Wf_sim.Netsim.run ~max_steps:config.max_steps rt.net;
+  (* Closing: alternate complement emission and network drain. *)
+  close_rounds rt 64;
+  final_close rt;
+  let deps = Workflow_def.dependencies rt.wf in
+  let trace = trace_of rt in
+  let violations = Correctness.violations deps trace in
+  let generated =
+    if config.check_generates then Some (Correctness.generates deps trace)
+    else None
+  in
+  {
+    trace = List.rev rt.occurrences;
+    stats = stats rt;
+    makespan = Wf_sim.Netsim.now rt.net;
+    satisfied = violations = [];
+    violations;
+    generated;
+    rejected = List.rev rt.rejected;
+  }
+
+let trace_literals result = List.map (fun o -> o.lit) result.trace

@@ -1,0 +1,48 @@
+open Wf_core
+open Wf_tasks
+
+(** The distributed event-centric scheduler (Sections 2 and 4.3).
+
+    Guards are compiled once ({!Wf_core.Compile}), localized on event
+    actors placed at the sites of their tasks, and evaluated against
+    locally assimilated knowledge; no central component exists.  Task
+    agents attempt events; occurrences are announced only to the actors
+    whose guards mention them.
+
+    The run ends with a {e closing} phase: when all activity quiesces,
+    the complements of events that can no longer occur are emitted
+    (making the realized trace maximal, as the temporal semantics
+    requires), any attempts still parked are rejected, and the realized
+    trace is checked against every dependency. *)
+
+type config = {
+  seed : int64;
+  base_latency : float;  (** inter-site message latency *)
+  jitter : float;  (** mean of the exponential latency jitter *)
+  think_time : float;  (** mean delay between an agent's attempts *)
+  max_steps : int;
+  check_generates : bool;
+      (** also verify Definition 4 w.r.t. the synthesized guards
+          (exponential in alphabet; keep off for large workflows) *)
+  on_event : occurrence -> unit;
+      (** invoked at each occurrence, in order — the hook by which task
+          effects (e.g. store updates) attach to significant events *)
+}
+
+and occurrence = { lit : Literal.t; seqno : int; time : float }
+
+val default_config : config
+
+type result = {
+  trace : occurrence list;  (** in occurrence order *)
+  stats : Wf_sim.Stats.t;
+  makespan : float;
+  satisfied : bool;  (** every dependency holds on the realized trace *)
+  violations : Expr.t list;
+  generated : bool option;  (** Definition 4 check, when requested *)
+  rejected : Literal.t list;  (** attempts permanently forbidden *)
+}
+
+val run : ?config:config -> Workflow_def.t -> result
+
+val trace_literals : result -> Trace.t

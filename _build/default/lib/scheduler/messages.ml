@@ -1,0 +1,40 @@
+open Wf_core
+
+type t =
+  | Announce of { lit : Literal.t; seqno : int }
+  | Promise_request of {
+      target : Literal.t;
+      requester : Literal.t;
+      offers : Literal.t list;
+    }
+  | Promise of { lit : Literal.t; to_ : Literal.t }
+  | Reserve of { sym : Symbol.t; requester : Literal.t }
+  | Reserve_granted of { sym : Symbol.t; to_ : Literal.t }
+  | Reserve_denied of { sym : Symbol.t; to_ : Literal.t }
+  | Release of { sym : Symbol.t; holder : Literal.t }
+
+let pp ppf = function
+  | Announce { lit; seqno } ->
+      Format.fprintf ppf "announce []%a @@%d" Literal.pp lit seqno
+  | Promise_request { target; requester; _ } ->
+      Format.fprintf ppf "promise-request <>%a from %a" Literal.pp target
+        Literal.pp requester
+  | Promise { lit; to_ } ->
+      Format.fprintf ppf "promise <>%a to %a" Literal.pp lit Literal.pp to_
+  | Reserve { sym; requester } ->
+      Format.fprintf ppf "reserve %a for %a" Symbol.pp sym Literal.pp requester
+  | Reserve_granted { sym; to_ } ->
+      Format.fprintf ppf "reserve-granted %a to %a" Symbol.pp sym Literal.pp to_
+  | Reserve_denied { sym; to_ } ->
+      Format.fprintf ppf "reserve-denied %a to %a" Symbol.pp sym Literal.pp to_
+  | Release { sym; holder } ->
+      Format.fprintf ppf "release %a by %a" Symbol.pp sym Literal.pp holder
+
+let label = function
+  | Announce _ -> "announce"
+  | Promise_request _ -> "promise_request"
+  | Promise _ -> "promise"
+  | Reserve _ -> "reserve"
+  | Reserve_granted _ -> "reserve_granted"
+  | Reserve_denied _ -> "reserve_denied"
+  | Release _ -> "release"

@@ -1,0 +1,30 @@
+open Wf_core
+
+(** The wire protocol among event actors (Section 4.3 and [14]).
+
+    - [Announce]: [□x] — the event occurred; carries the global order
+      stamp so receivers reconstruct a consistent temporal view.
+    - [Promise] / [Promise_request]: the [◇] consensus machinery of
+      Example 11: a requester offers its own eventualities; the grantee
+      replies with a conditional promise and thereby obliges itself.
+    - [Reserve] / [Reserve_granted] / [Reserve_denied] / [Release]: the
+      [¬]-consensus: while a reservation is held, the reserved symbol
+      stays undecided, so the holder may fire through a [¬f]-style
+      constraint soundly. *)
+
+type t =
+  | Announce of { lit : Literal.t; seqno : int }
+  | Promise_request of {
+      target : Literal.t;
+      requester : Literal.t;
+      offers : Literal.t list;
+    }
+  | Promise of { lit : Literal.t; to_ : Literal.t }
+  | Reserve of { sym : Symbol.t; requester : Literal.t }
+  | Reserve_granted of { sym : Symbol.t; to_ : Literal.t }
+  | Reserve_denied of { sym : Symbol.t; to_ : Literal.t }
+  | Release of { sym : Symbol.t; holder : Literal.t }
+
+val pp : Format.formatter -> t -> unit
+val label : t -> string
+(** Short tag for statistics ("announce", "promise", ...). *)

@@ -1,0 +1,59 @@
+open Wf_core
+open Wf_tasks
+
+type result = {
+  trace : Trace.t;
+  attempts : int;
+  parked_final : Symbol.t list;
+  finished : bool;
+}
+
+let run ?(seed = 42L) ?(max_steps = 100_000) ~templates wf =
+  let engine = Param_sched.create templates in
+  let rng = Wf_sim.Rng.create seed in
+  let agents =
+    List.map
+      (fun (task : Workflow_def.task) ->
+        Agent.create ~instance:task.Workflow_def.instance
+          ~model:task.Workflow_def.model ~script:task.Workflow_def.script
+          ~parametrize:task.Workflow_def.parametrize ())
+      wf.Workflow_def.tasks
+  in
+  let attempts = ref 0 in
+  let steps = ref 0 in
+  let stalled = ref 0 in
+  let progress () =
+    List.exists (fun a -> not (Agent.finished a)) agents
+  in
+  while progress () && !steps < max_steps && !stalled < 10_000 do
+    incr steps;
+    let before = Trace.length (Param_sched.trace engine) in
+    let live = List.filter (fun a -> not (Agent.finished a)) agents in
+    if live <> [] then begin
+      let agent = Wf_sim.Rng.pick rng live in
+      match Agent.want agent with
+      | None -> (
+          (* Awaiting a parked decision: poke the engine. *)
+          match Agent.awaiting agent with
+          | Some sym when Knowledge.decided (Param_sched.knowledge engine) sym
+            ->
+              ignore (Agent.on_accepted agent sym)
+          | _ -> ())
+      | Some (sym, _) -> (
+          incr attempts;
+          Agent.begin_attempt agent sym;
+          match Param_sched.attempt engine sym with
+          | Param_sched.Accepted | Param_sched.Already ->
+              ignore (Agent.on_accepted agent sym)
+          | Param_sched.Parked -> ()
+          | Param_sched.Rejected -> Agent.on_rejected agent sym)
+    end;
+    if Trace.length (Param_sched.trace engine) = before then incr stalled
+    else stalled := 0
+  done;
+  {
+    trace = Param_sched.trace engine;
+    attempts = !attempts;
+    parked_final = Param_sched.parked engine;
+    finished = List.for_all Agent.finished agents;
+  }

@@ -1,0 +1,21 @@
+open Wf_core
+open Wf_tasks
+
+(** Driver for parametrized workflows (Section 5): runs the agents of a
+    {!Wf_tasks.Workflow_def} whose dependencies are templates against
+    the {!Param_sched} engine, interleaving attempts with a seeded RNG
+    and retrying parked tokens as knowledge grows. *)
+
+type result = {
+  trace : Trace.t;
+  attempts : int;
+  parked_final : Symbol.t list;
+  finished : bool;  (** every agent ran its script to completion *)
+}
+
+val run :
+  ?seed:int64 ->
+  ?max_steps:int ->
+  templates:Ptemplate.t list ->
+  Workflow_def.t ->
+  result

@@ -1,0 +1,210 @@
+open Wf_core
+
+type outcome = Accepted | Parked | Rejected | Already
+
+type t = {
+  deps : Ptemplate.t list;
+  templates : (int * Ptemplate.atom * Guard.t) list;
+  mutable know : Knowledge.t;
+  mutable seqno : int;
+  mutable occurrences : Literal.t list; (* newest first *)
+  mutable parked_syms : Symbol.t list;
+}
+
+let fresh_marker = "*"
+
+let create deps =
+  let templates =
+    List.concat
+      (List.mapi
+         (fun i dep ->
+           let skel = Ptemplate.skeleton dep in
+           List.map
+             (fun (a : Ptemplate.atom) ->
+               let lit : Literal.t =
+                 {
+                   Literal.sym = Ptemplate.symbol_of_atom Ptemplate.var_marker a;
+                   pol = a.Ptemplate.pol;
+                 }
+               in
+               (i, a, Synth.guard skel lit))
+             (Ptemplate.atoms dep))
+         deps)
+  in
+  {
+    deps;
+    templates;
+    know = Knowledge.empty;
+    seqno = 0;
+    occurrences = [];
+    parked_syms = [];
+  }
+
+(* --- variable handling on marked symbols -------------------------------- *)
+
+let is_marker arg = String.length arg > 1 && arg.[0] = '?'
+let marker_var arg = String.sub arg 1 (String.length arg - 1)
+
+let subst_symbol bindings sym =
+  let args =
+    List.map
+      (fun arg ->
+        if is_marker arg then
+          match List.assoc_opt (marker_var arg) bindings with
+          | Some v -> v
+          | None -> arg
+        else arg)
+      (Symbol.args sym)
+  in
+  match args with
+  | [] -> sym
+  | args -> Symbol.parametrized (Symbol.base sym) args
+
+let subst bindings g = Guard.map_symbols (subst_symbol bindings) g
+
+let free_vars g =
+  Symbol.Set.fold
+    (fun sym acc ->
+      List.fold_left
+        (fun acc arg ->
+          if is_marker arg && not (List.mem (marker_var arg) acc) then
+            marker_var arg :: acc
+          else acc)
+        acc (Symbol.args sym))
+    (Guard.symbols g) []
+
+let has_fresh_arg sym = List.exists (String.equal fresh_marker) (Symbol.args sym)
+
+(* --- evaluation ---------------------------------------------------------- *)
+
+let undecided_symbols t g =
+  Symbol.Set.filter
+    (fun sym -> not (Knowledge.decided t.know sym))
+    (Guard.symbols g)
+
+(* A ground, active (or bound) instance: undecided symbols are known to
+   be undecided right now — the engine is the single arbiter. *)
+let eval_active t g =
+  Knowledge.status ~reserved:(undecided_symbols t g) t.know g
+
+(* A fresh instance: its never-seen tokens will never occur. *)
+let eval_fresh t g =
+  let undecided = undecided_symbols t g in
+  let never = Symbol.Set.filter has_fresh_arg undecided in
+  let reserved = Symbol.Set.diff undecided never in
+  Knowledge.status ~reserved ~never t.know g
+
+let combine a b =
+  match (a, b) with
+  | Knowledge.False, _ | _, Knowledge.False -> Knowledge.False
+  | Knowledge.True, Knowledge.True -> Knowledge.True
+  | _ -> Knowledge.Unknown
+
+let known_values t =
+  let values = ref [] in
+  Symbol.Map.iter
+    (fun sym _ ->
+      List.iter
+        (fun arg ->
+          if (not (is_marker arg)) && not (List.mem arg !values) then
+            values := arg :: !values)
+        (Symbol.args sym))
+    (Knowledge.symbols t.know
+    |> List.fold_left (fun m s -> Symbol.Map.add s () m) Symbol.Map.empty);
+  !values
+
+let rec combos vars values =
+  match vars with
+  | [] -> [ [] ]
+  | v :: rest ->
+      let smaller = combos rest values in
+      List.concat_map
+        (fun value -> List.map (fun c -> (v, value) :: c) smaller)
+        values
+
+let active t g =
+  Symbol.Set.exists (Knowledge.decided t.know) (Guard.symbols g)
+
+let instance_status t template ~bound =
+  let g0 = subst bound template in
+  match free_vars g0 with
+  | [] -> eval_active t g0
+  | free ->
+      let values = known_values t in
+      let status_of_combo acc combo =
+        let g1 = subst combo g0 in
+        (* Instances none of whose events have occurred are subsumed by
+           the generic fresh instance. *)
+        if active t g1 then combine acc (eval_active t g1) else acc
+      in
+      let seen_part =
+        List.fold_left status_of_combo Knowledge.True (combos free values)
+      in
+      let fresh_bindings = List.map (fun v -> (v, fresh_marker)) free in
+      combine seen_part (eval_fresh t (subst fresh_bindings g0))
+
+(* --- the engine ---------------------------------------------------------- *)
+
+let decide t sym =
+  let verdicts =
+    List.filter_map
+      (fun (_, atom, template) ->
+        if atom.Ptemplate.pol <> Literal.Pos then None
+        else
+          match Ptemplate.match_symbol atom sym with
+          | None -> None
+          | Some bound -> Some (instance_status t template ~bound))
+      t.templates
+  in
+  List.fold_left combine Knowledge.True verdicts
+
+let record t lit =
+  t.seqno <- t.seqno + 1;
+  t.know <- Knowledge.occurred lit ~seqno:t.seqno t.know;
+  t.occurrences <- lit :: t.occurrences
+
+let rec retry_parked t =
+  let parked = t.parked_syms in
+  t.parked_syms <- [];
+  let still =
+    List.filter
+      (fun sym ->
+        if Knowledge.decided t.know sym then false
+        else
+          match decide t sym with
+          | Knowledge.True ->
+              record t (Literal.pos sym);
+              false
+          | Knowledge.False | Knowledge.Unknown -> true)
+      parked
+  in
+  if List.length still < List.length parked then begin
+    t.parked_syms <- still @ t.parked_syms;
+    retry_parked t
+  end
+  else t.parked_syms <- still @ t.parked_syms
+
+let attempt t sym =
+  if Knowledge.decided t.know sym then Already
+  else
+    match decide t sym with
+    | Knowledge.True ->
+        record t (Literal.pos sym);
+        retry_parked t;
+        Accepted
+    | Knowledge.False -> Rejected
+    | Knowledge.Unknown ->
+        if not (List.exists (Symbol.equal sym) t.parked_syms) then
+          t.parked_syms <- sym :: t.parked_syms;
+        Parked
+
+let occurred t lit =
+  if not (Knowledge.decided t.know (Literal.symbol lit)) then begin
+    record t lit;
+    retry_parked t
+  end
+
+let parked t = t.parked_syms
+let trace t = List.rev t.occurrences
+let knowledge t = t.know
+let guard_templates t = t.templates

@@ -1,0 +1,53 @@
+open Wf_core
+
+(** Scheduling parametrized dependencies (Section 5).
+
+    Dependencies are {!Wf_core.Ptemplate} templates; guard synthesis
+    runs once on each template's skeleton, and the resulting guard
+    templates are instantiated per binding at run time.  Unbound
+    variables are universally quantified: an attempt is allowed only if
+    every instantiation of the free variables — the bindings observed so
+    far plus a generic fresh one — evaluates to [True].  Fresh instances
+    evaluate with their events in situation D ("never occurs"), which is
+    what lets guards grow when a binding becomes active and be
+    resurrected when its obligations are met (Example 14).
+
+    The engine is a logically centralized token manager (the paper's §5
+    machinery is about the reasoning; its distribution follows §4 and is
+    exercised by {!Event_sched}).  It supports tasks of arbitrary
+    structure: agents may attempt event tokens in any order, any number
+    of times (Example 13). *)
+
+type outcome = Accepted | Parked | Rejected | Already
+
+type t
+
+val create : Ptemplate.t list -> t
+(** Synthesizes one guard template per (dependency, atom pattern). *)
+
+val attempt : t -> Symbol.t -> outcome
+(** Attempt a ground positive event token, e.g. [b_t1(3)].  [Accepted]
+    records the occurrence and re-evaluates parked tokens; [Parked]
+    tokens are retried automatically on later occurrences; [Already]
+    reports a token whose symbol is decided (e.g. it was accepted by a
+    retry of a parked attempt). *)
+
+val occurred : t -> Literal.t -> unit
+(** Force an occurrence (uncontrollable events, complements). *)
+
+val parked : t -> Symbol.t list
+val trace : t -> Trace.t
+(** Realized trace, in occurrence order. *)
+
+val knowledge : t -> Knowledge.t
+
+val guard_templates : t -> (int * Ptemplate.atom * Guard.t) list
+(** The synthesized guard templates (dependency index, pattern,
+    guard over [?var]-marked symbols). *)
+
+val instance_status :
+  t -> Guard.t -> bound:(string * string) list -> Knowledge.status
+(** Evaluate one guard-template instance under the engine's current
+    knowledge: bound variables are substituted; remaining free variables
+    are universally quantified over active bindings plus a fresh one.
+    Exposed for the Example 14 walkthrough and tests. *)

@@ -1,0 +1,1 @@
+lib/sim/netsim.ml: Array Hashtbl Heap Printf Rng Stats

@@ -1,0 +1,17 @@
+(** Binary min-heap keyed by [(float, int)] pairs.
+
+    The integer component is a tie-breaking sequence number, which makes
+    the simulator's event ordering total and deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> key:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum element. *)
+
+val peek : 'a t -> (float * int * 'a) option

@@ -1,0 +1,95 @@
+type site = int
+
+type latency = { base : float; jitter : float }
+
+type 'msg event =
+  | Deliver of { src : site; dst : site; payload : 'msg }
+  | Action of (unit -> unit)
+
+type 'msg t = {
+  num_sites : int;
+  latency : site -> site -> latency;
+  rng : Rng.t;
+  stats : Stats.t;
+  queue : 'msg event Heap.t;
+  handlers : (site -> 'msg -> unit) option array;
+  last_delivery : (site * site, float) Hashtbl.t;
+  mutable clock : float;
+  mutable seq : int;
+}
+
+let uniform_latency ~base ~jitter src dst =
+  if src = dst then { base = 0.001; jitter = 0.0 } else { base; jitter }
+
+let create ?(seed = 42L) ~num_sites ~latency () =
+  {
+    num_sites;
+    latency;
+    rng = Rng.create seed;
+    stats = Stats.create ();
+    queue = Heap.create ();
+    handlers = Array.make num_sites None;
+    last_delivery = Hashtbl.create 64;
+    clock = 0.0;
+    seq = 0;
+  }
+
+let now t = t.clock
+let stats t = t.stats
+let rng t = t.rng
+
+let on_receive t site handler =
+  if site < 0 || site >= t.num_sites then
+    invalid_arg "Netsim.on_receive: bad site";
+  t.handlers.(site) <- Some handler
+
+let next_seq t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+let send t ~src ~dst payload =
+  let { base; jitter } = t.latency src dst in
+  let delay =
+    base +. (if jitter > 0.0 then Rng.exponential t.rng ~mean:jitter else 0.0)
+  in
+  let arrival = t.clock +. delay in
+  (* FIFO per link: never deliver before a previously sent message. *)
+  let key = (src, dst) in
+  let arrival =
+    match Hashtbl.find_opt t.last_delivery key with
+    | Some last when last >= arrival -> last +. 1e-9
+    | _ -> arrival
+  in
+  Hashtbl.replace t.last_delivery key arrival;
+  Stats.incr t.stats "messages_sent";
+  Stats.incr t.stats (Printf.sprintf "site_recv_%d" dst);
+  if src <> dst then Stats.incr t.stats "messages_remote";
+  Stats.observe t.stats "message_latency" (arrival -. t.clock);
+  Heap.push t.queue ~key:arrival ~seq:(next_seq t) (Deliver { src; dst; payload })
+
+let schedule t ~delay action =
+  Heap.push t.queue ~key:(t.clock +. delay) ~seq:(next_seq t) (Action action)
+
+let quiescent t = Heap.is_empty t.queue
+
+let run ?(until = infinity) ?(max_steps = max_int) t =
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && !steps < max_steps do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some (time, _, _) when time > until -> continue := false
+    | Some _ -> (
+        match Heap.pop t.queue with
+        | None -> continue := false
+        | Some (time, _, event) -> (
+            t.clock <- max t.clock time;
+            incr steps;
+            match event with
+            | Action f -> f ()
+            | Deliver { src; dst; payload } -> (
+                Stats.incr t.stats "messages_delivered";
+                match t.handlers.(dst) with
+                | Some h -> h src payload
+                | None -> Stats.incr t.stats "messages_dropped")))
+  done

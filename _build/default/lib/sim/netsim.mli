@@ -1,0 +1,43 @@
+(** Discrete-event simulator of a distributed message-passing network.
+
+    The paper's setting is a heterogeneous distributed environment whose
+    components communicate asynchronously ("these may be at remote sites
+    on the network", Section 2).  We reproduce it with a virtual-time
+    simulator: sites host handlers; messages between sites experience a
+    per-link base latency plus seeded exponential jitter; delivery on a
+    link is FIFO.  Local work can be scheduled as timed callbacks.
+
+    The simulator assigns every delivery a deterministic total order
+    (virtual time, then sequence number), making runs reproducible. *)
+
+type site = int
+
+type 'msg t
+
+type latency = { base : float; jitter : float }
+
+val create :
+  ?seed:int64 -> num_sites:int -> latency:(site -> site -> latency) -> unit -> 'msg t
+
+val uniform_latency : base:float -> jitter:float -> site -> site -> latency
+
+val now : 'msg t -> float
+val stats : 'msg t -> Stats.t
+val rng : 'msg t -> Rng.t
+
+val on_receive : 'msg t -> site -> (site -> 'msg -> unit) -> unit
+(** Install the message handler of a site; the callback receives the
+    source site and the payload. *)
+
+val send : 'msg t -> src:site -> dst:site -> 'msg -> unit
+(** Enqueue a message; it is delivered after the link latency, in FIFO
+    order per (src, dst) pair.  Messages to the own site are delivered
+    with negligible local latency. *)
+
+val schedule : 'msg t -> delay:float -> (unit -> unit) -> unit
+(** Run a local action after a virtual delay. *)
+
+val run : ?until:float -> ?max_steps:int -> 'msg t -> unit
+(** Process events until the queue drains (or limits are hit). *)
+
+val quiescent : 'msg t -> bool

@@ -1,0 +1,23 @@
+(** Deterministic splitmix64 random number generator.
+
+    All simulation randomness flows from explicitly seeded instances, so
+    every run (and thus every bench row and test) is reproducible. *)
+
+type t
+
+val create : int64 -> t
+val copy : t -> t
+val next_int64 : t -> int64
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound > 0]. *)
+
+val bool : t -> bool
+val exponential : t -> mean:float -> float
+(** Exponentially distributed, for inter-arrival and latency jitter. *)
+
+val shuffle : t -> 'a array -> unit
+val pick : t -> 'a list -> 'a
+(** Uniform choice; raises [Invalid_argument] on empty list. *)

@@ -1,0 +1,78 @@
+module SMap = Map.Make (String)
+
+type t = {
+  mutable counts : int SMap.t;
+  mutable series : float list SMap.t; (* newest first *)
+}
+
+let create () = { counts = SMap.empty; series = SMap.empty }
+
+let add t name k =
+  let current = Option.value (SMap.find_opt name t.counts) ~default:0 in
+  t.counts <- SMap.add name (current + k) t.counts
+
+let incr t name = add t name 1
+let count t name = Option.value (SMap.find_opt name t.counts) ~default:0
+
+let observe t name x =
+  let current = Option.value (SMap.find_opt name t.series) ~default:[] in
+  t.series <- SMap.add name (x :: current) t.series
+
+type summary = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  let idx = int_of_float (p *. float_of_int (n - 1)) in
+  sorted.(idx)
+
+let summarize t name =
+  match SMap.find_opt name t.series with
+  | None | Some [] -> None
+  | Some samples ->
+      let arr = Array.of_list samples in
+      Array.sort Float.compare arr;
+      let n = Array.length arr in
+      let total = Array.fold_left ( +. ) 0.0 arr in
+      Some
+        {
+          n;
+          mean = total /. float_of_int n;
+          min = arr.(0);
+          max = arr.(n - 1);
+          p50 = percentile arr 0.50;
+          p95 = percentile arr 0.95;
+          p99 = percentile arr 0.99;
+        }
+
+let counters t = SMap.bindings t.counts
+let series_names t = List.map fst (SMap.bindings t.series)
+
+let merge a b =
+  {
+    counts =
+      SMap.union (fun _ x y -> Some (x + y)) a.counts b.counts;
+    series = SMap.union (fun _ x y -> Some (x @ y)) a.series b.series;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, c) -> Format.fprintf ppf "%-32s %d@," name c)
+    (counters t);
+  List.iter
+    (fun name ->
+      match summarize t name with
+      | None -> ()
+      | Some s ->
+          Format.fprintf ppf "%-32s n=%d mean=%.3f p50=%.3f p99=%.3f@," name
+            s.n s.mean s.p50 s.p99)
+    (series_names t);
+  Format.fprintf ppf "@]"

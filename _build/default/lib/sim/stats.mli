@@ -1,0 +1,30 @@
+(** Counters and summary statistics collected during simulation runs. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val count : t -> string -> int
+
+val observe : t -> string -> float -> unit
+(** Record a sample for a named series (latency, parked time, ...). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : t -> string -> summary option
+val counters : t -> (string * int) list
+val series_names : t -> string list
+val merge : t -> t -> t
+(** Pointwise sum of counters and concatenation of series. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/store/resource.mli: Kv

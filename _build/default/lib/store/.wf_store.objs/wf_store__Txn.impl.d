@@ -1,0 +1,1 @@
+lib/store/txn.ml: Kv List

@@ -1,0 +1,39 @@
+type value = Int of int | Str of string
+
+type entry = { value : value; version : int }
+
+type t = { store_name : string; table : (string, entry) Hashtbl.t }
+
+let create ?(name = "store") () = { store_name = name; table = Hashtbl.create 64 }
+let name t = t.store_name
+
+let get t key =
+  Option.map (fun e -> (e.value, e.version)) (Hashtbl.find_opt t.table key)
+
+let keys t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
+
+let version_of t key =
+  match Hashtbl.find_opt t.table key with Some e -> e.version | None -> 0
+
+let apply t writes =
+  List.iter
+    (fun (key, value) ->
+      let version = version_of t key + 1 in
+      Hashtbl.replace t.table key { value; version })
+    writes
+
+let pp_value ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Str s -> Format.fprintf ppf "%S" s
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>store %s@," t.store_name;
+  List.iter
+    (fun key ->
+      match get t key with
+      | Some (v, ver) ->
+          Format.fprintf ppf "  %s = %a (v%d)@," key pp_value v ver
+      | None -> ())
+    (keys t);
+  Format.fprintf ppf "@]"

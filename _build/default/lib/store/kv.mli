@@ -1,0 +1,26 @@
+(** Versioned in-memory key-value store.
+
+    The autonomous component databases of the workflow environment are
+    modelled as independent stores.  Every committed write bumps the
+    key's version, which the optimistic transaction layer uses for
+    conflict detection. *)
+
+type value = Int of int | Str of string
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+val get : t -> string -> (value * int) option
+(** Value and current version of a key. *)
+
+val keys : t -> string list
+val version_of : t -> string -> int
+(** 0 for absent keys. *)
+
+val apply : t -> (string * value) list -> unit
+(** Install committed writes, bumping versions (used by {!Txn}). *)
+
+val pp_value : Format.formatter -> value -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type t = { kv : Kv.t; key : string }
+
+let create ~store ~key ~capacity =
+  Kv.apply store [ (key, Kv.Int capacity) ];
+  { kv = store; key }
+
+let store t = t.kv
+
+let available t =
+  match Kv.get t.kv t.key with Some (Kv.Int n, _) -> n | _ -> 0
+
+let adjust t delta err_when_negative =
+  let txn = Txn.begin_ t.kv in
+  match Txn.read txn t.key with
+  | Some (Kv.Int n) when n + delta >= 0 -> (
+      Txn.write txn t.key (Kv.Int (n + delta));
+      match Txn.commit txn with
+      | Txn.Committed -> Ok ()
+      | Txn.Aborted reason -> Error reason)
+  | Some (Kv.Int _) -> Error err_when_negative
+  | _ -> Error (t.key ^ " missing")
+
+let reserve t n = adjust t (-n) "insufficient stock"
+let release t n = adjust t n "impossible"
+
+let airline () = create ~store:(Kv.create ~name:"airline" ()) ~key:"seats" ~capacity:50
+let car_rental () = create ~store:(Kv.create ~name:"car_rental" ()) ~key:"cars" ~capacity:30

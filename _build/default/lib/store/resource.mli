@@ -1,0 +1,25 @@
+(** Inventory resource managers for the running examples.
+
+    Example 4 relies on there being "several mutually indistinguishable
+    instances of plane seats and rental cars", which is what relaxes the
+    scheduling requirements.  A resource manager owns a counter in its
+    store and exposes transactional reserve/release operations. *)
+
+type t
+
+val create : store:Kv.t -> key:string -> capacity:int -> t
+val store : t -> Kv.t
+val available : t -> int
+
+val reserve : t -> int -> (unit, string) result
+(** Transactionally take n units; fails when stock is insufficient or on
+    a write conflict. *)
+
+val release : t -> int -> (unit, string) result
+(** Return n units (compensation). *)
+
+val airline : unit -> t
+(** A fresh airline seat inventory ([seats], capacity 50). *)
+
+val car_rental : unit -> t
+(** A fresh car fleet ([cars], capacity 30). *)

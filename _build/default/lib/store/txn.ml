@@ -1,0 +1,79 @@
+type status = Live | Done
+
+type t = {
+  kv : Kv.t;
+  mutable status : status;
+  mutable read_set : (string * int) list; (* key, version observed *)
+  mutable write_set : (string * Kv.value) list; (* newest first *)
+}
+
+type outcome = Committed | Aborted of string
+
+let begin_ kv = { kv; status = Live; read_set = []; write_set = [] }
+let store t = t.kv
+let is_live t = t.status = Live
+
+let record_read t key version =
+  if not (List.mem_assoc key t.read_set) then
+    t.read_set <- (key, version) :: t.read_set
+
+let read t key =
+  match List.assoc_opt key t.write_set with
+  | Some v -> Some v
+  | None -> (
+      match Kv.get t.kv key with
+      | Some (v, version) ->
+          record_read t key version;
+          Some v
+      | None ->
+          record_read t key 0;
+          None)
+
+let write t key value = t.write_set <- (key, value) :: t.write_set
+
+let incr t key delta =
+  match read t key with
+  | Some (Kv.Int n) ->
+      write t key (Kv.Int (n + delta));
+      Ok (n + delta)
+  | None ->
+      write t key (Kv.Int delta);
+      Ok delta
+  | Some (Kv.Str _) -> Error (key ^ " is not an integer")
+
+let validate t =
+  List.find_map
+    (fun (key, seen) ->
+      let now = Kv.version_of t.kv key in
+      if now <> seen then Some key else None)
+    t.read_set
+
+let dedup_writes t =
+  (* Keep the newest write per key, preserving no particular order. *)
+  let rec go seen = function
+    | [] -> []
+    | (key, v) :: rest ->
+        if List.mem key seen then go seen rest
+        else (key, v) :: go (key :: seen) rest
+  in
+  go [] t.write_set
+
+let commit t =
+  match t.status with
+  | Done -> Aborted "transaction already finished"
+  | Live -> (
+      match validate t with
+      | Some key ->
+          t.status <- Done;
+          Aborted ("conflict on " ^ key)
+      | None ->
+          Kv.apply t.kv (dedup_writes t);
+          t.status <- Done;
+          Committed)
+
+let abort t =
+  t.status <- Done;
+  Aborted "user abort"
+
+let reads t = t.read_set
+let writes t = dedup_writes t

@@ -1,0 +1,34 @@
+(** Optimistic transactions over a {!Kv} store.
+
+    Component activities of transactional workflows are database
+    transactions; this layer gives them begin/read/write/commit/abort
+    semantics with first-committer-wins conflict detection: commit
+    validates that every key read still has the version observed, then
+    installs the write set atomically. *)
+
+type t
+
+type outcome = Committed | Aborted of string
+
+val begin_ : Kv.t -> t
+val store : t -> Kv.t
+val is_live : t -> bool
+
+val read : t -> string -> Kv.value option
+(** Reads observe the transaction's own writes first, then the store
+    snapshot version (recorded for validation). *)
+
+val write : t -> string -> Kv.value -> unit
+
+val incr : t -> string -> int -> (int, string) result
+(** Read-modify-write of an integer counter; [Error] on type mismatch. *)
+
+val commit : t -> outcome
+(** Validate and install; [Aborted reason] on conflict or if the
+    transaction was already finished. *)
+
+val abort : t -> outcome
+(** Discard the write set. *)
+
+val reads : t -> (string * int) list
+val writes : t -> (string * Kv.value) list

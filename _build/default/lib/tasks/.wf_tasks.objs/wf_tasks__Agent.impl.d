@@ -1,0 +1,1 @@
+lib/tasks/agent.ml: List Literal Option Symbol Task_model Wf_core

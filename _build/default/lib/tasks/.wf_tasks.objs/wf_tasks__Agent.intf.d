@@ -1,0 +1,1 @@
+lib/tasks/agent.mli: Attribute Literal Symbol Task_model Wf_core

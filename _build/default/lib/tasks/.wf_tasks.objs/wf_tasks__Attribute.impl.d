@@ -1,0 +1,1 @@
+lib/tasks/attribute.ml: Format List String

@@ -1,0 +1,1 @@
+lib/tasks/attribute.mli: Format

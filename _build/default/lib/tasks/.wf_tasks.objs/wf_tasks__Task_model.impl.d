@@ -1,0 +1,1 @@
+lib/tasks/task_model.ml: Attribute Format List Printf String Symbol Wf_core

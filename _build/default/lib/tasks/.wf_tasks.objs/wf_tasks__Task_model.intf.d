@@ -1,0 +1,1 @@
+lib/tasks/task_model.mli: Attribute Format Symbol Wf_core

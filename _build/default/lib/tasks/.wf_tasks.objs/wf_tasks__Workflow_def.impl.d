@@ -1,0 +1,1 @@
+lib/tasks/workflow_def.ml: Agent Attribute Expr List Printf String Symbol Task_model Wf_core

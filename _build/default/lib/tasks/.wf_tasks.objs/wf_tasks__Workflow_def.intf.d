@@ -1,0 +1,1 @@
+lib/tasks/workflow_def.mli: Agent Attribute Expr Symbol Task_model Wf_core

@@ -1,0 +1,190 @@
+open Wf_core
+type script = {
+  steps : string list;
+  on_reject : string -> string option;
+  repeat : int;
+}
+
+let straight_line steps = { steps; on_reject = (fun _ -> None); repeat = 1 }
+
+let transactional () =
+  {
+    steps = [ "start"; "commit" ];
+    on_reject = (function "commit" -> Some "abort" | _ -> None);
+    repeat = 1;
+  }
+
+let aborting () = straight_line [ "start"; "abort" ]
+let looping k = { steps = [ "enter"; "exit" ]; on_reject = (fun _ -> None); repeat = k }
+
+type t = {
+  instance : string;
+  model : Task_model.t;
+  script : script;
+  parametrize : bool;
+  mutable state : string;
+  mutable plan : string list; (* events still to attempt *)
+  mutable awaiting : Symbol.t option;
+  mutable occurred : string list; (* events that occurred, most recent first *)
+  mutable counts : (string * int) list; (* occurrence counts per event *)
+  mutable given_up : bool;
+}
+
+let expand_script script =
+  List.concat (List.init (max 1 script.repeat) (fun _ -> script.steps))
+
+let create ~instance ~model ~script ?(parametrize = false) () =
+  (match Task_model.validate model with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Agent.create: invalid model: " ^ msg));
+  {
+    instance;
+    model;
+    script;
+    parametrize;
+    state = model.Task_model.init;
+    plan = expand_script script;
+    awaiting = None;
+    occurred = [];
+    counts = [];
+    given_up = false;
+  }
+
+let instance t = t.instance
+let model t = t.model
+let state t = t.state
+let awaiting t = t.awaiting
+
+let count_of t event =
+  Option.value (List.assoc_opt event t.counts) ~default:0
+
+let symbol_of t event =
+  let base = Task_model.symbol_of_event t.model ~instance:t.instance event in
+  if t.parametrize then
+    Symbol.parametrized (Symbol.name base)
+      [ string_of_int (count_of t event + 1) ]
+  else base
+
+let event_of_symbol t sym =
+  (* Strip any occurrence parameter before matching. *)
+  let plain = Symbol.make (Symbol.base sym) in
+  Task_model.event_of_symbol t.model ~instance:t.instance plain
+
+let owns t sym = Option.is_some (event_of_symbol t sym)
+
+let attribute_of t sym =
+  Option.map (Task_model.attribute t.model) (event_of_symbol t sym)
+
+let want t =
+  if t.given_up || Option.is_some t.awaiting then None
+  else
+    match t.plan with
+    | [] -> None
+    | event :: _ ->
+        if Task_model.next_state t.model t.state event = None then None
+        else Some (symbol_of t event, Task_model.attribute t.model event)
+
+let begin_attempt t sym = t.awaiting <- Some sym
+
+let complements_made_unreachable t ~before ~after =
+  if t.parametrize then []
+  else
+    let was = Task_model.unreachable_events t.model before in
+    let now = Task_model.unreachable_events t.model after in
+    List.filter_map
+      (fun ev ->
+        if (not (List.mem ev was)) && not (List.mem ev t.occurred) then
+          Some (Literal.neg (symbol_of t ev))
+        else None)
+      now
+
+let would_make_unreachable t sym =
+  match event_of_symbol t sym with
+  | None -> []
+  | Some event -> (
+      match Task_model.next_state t.model t.state event with
+      | None -> []
+      | Some next ->
+          if t.parametrize then []
+          else
+            let was = Task_model.unreachable_events t.model t.state in
+            let now = Task_model.unreachable_events t.model next in
+            List.filter_map
+              (fun ev ->
+                if
+                  (not (List.mem ev was))
+                  && (not (List.mem ev t.occurred))
+                  && ev <> event
+                then Some (Literal.neg (symbol_of t ev))
+                else None)
+              now)
+
+let advance t event =
+  match Task_model.next_state t.model t.state event with
+  | None -> None
+  | Some next ->
+      let before = t.state in
+      (* The complement of an event that is about to occur must not be
+         emitted, so record the occurrence first. *)
+      t.occurred <- event :: t.occurred;
+      t.counts <- (event, count_of t event + 1) :: List.remove_assoc event t.counts;
+      t.state <- next;
+      Some (complements_made_unreachable t ~before ~after:next)
+
+let on_accepted t sym =
+  (match t.awaiting with
+  | Some s when Symbol.equal s sym -> t.awaiting <- None
+  | _ -> ());
+  match event_of_symbol t sym with
+  | None -> []
+  | Some event -> (
+      (* Drop the satisfied plan step if it is the current head. *)
+      (match t.plan with
+      | next :: rest when next = event -> t.plan <- rest
+      | _ -> ());
+      match advance t event with None -> [] | Some complements -> complements)
+
+let on_rejected t sym =
+  (match t.awaiting with
+  | Some s when Symbol.equal s sym -> t.awaiting <- None
+  | _ -> ());
+  match event_of_symbol t sym with
+  | None -> ()
+  | Some event -> (
+      match t.script.on_reject event with
+      | Some fallback -> (
+          match t.plan with
+          | _ :: rest -> t.plan <- fallback :: rest
+          | [] -> t.plan <- [ fallback ])
+      | None -> t.given_up <- true)
+
+let trigger t sym =
+  match event_of_symbol t sym with
+  | None -> None
+  | Some event -> (
+      match advance t event with
+      | None -> None
+      | Some complements ->
+          (* A trigger satisfies a matching plan step. *)
+          (match t.plan with
+          | next :: rest when next = event -> t.plan <- rest
+          | _ -> ());
+          Some complements)
+
+let finished t =
+  t.awaiting = None
+  && (t.given_up || t.plan = []
+     || List.for_all
+          (fun ev -> Task_model.next_state t.model t.state ev = None)
+          [ List.hd t.plan ])
+
+let undecided_complements t =
+  if t.parametrize then []
+  else
+    List.filter_map
+      (fun (ev, _, _) ->
+        if List.mem ev t.occurred then None
+        else Some (Literal.neg (symbol_of t ev)))
+      t.model.Task_model.significant
+
+let occurred_count t = List.length t.occurred

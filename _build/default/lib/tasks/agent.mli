@@ -1,0 +1,97 @@
+open Wf_core
+(** Task agents: the interface between tasks and the scheduling system.
+
+    An agent wraps a task-model instance.  It "informs the system of
+    uncontrollable events like abort and requests permission for
+    controllable ones like commit.  When triggered by the system, it
+    causes appropriate events like start in the task" (Section 2).
+
+    The agent follows a {e script} — the task's own will, opaque to the
+    scheduler — and additionally announces {e complement} events: when a
+    transition makes a significant event unreachable (e.g. committing
+    makes [abort] impossible), the complements of the newly impossible
+    events have occurred in the sense of the algebra.
+
+    Agents of looping tasks parametrize each occurrence with the
+    occurrence count ([b_T1(1)], [b_T1(2)], …), the event-token scheme
+    of Section 5.1 ("each agent can maintain a counter for each event
+    and increment it whenever it attempts an event"). *)
+
+type script = {
+  steps : string list;  (** significant events to attempt, in order *)
+  on_reject : string -> string option;
+      (** fallback event after a rejection, e.g. [commit ↦ abort] *)
+  repeat : int;  (** how many times to run [steps] (loops) *)
+}
+
+val straight_line : string list -> script
+(** Attempt the listed events once, give up on rejection. *)
+
+val transactional : unit -> script
+(** [start] then [commit]; a rejected [commit] falls back to [abort]. *)
+
+val aborting : unit -> script
+(** [start] then [abort] — failure injection. *)
+
+val looping : int -> script
+(** [enter]/[exit] repeated the given number of times (Example 13). *)
+
+type t
+
+val create :
+  instance:string ->
+  model:Task_model.t ->
+  script:script ->
+  ?parametrize:bool ->
+  unit ->
+  t
+
+val instance : t -> string
+val model : t -> Task_model.t
+val state : t -> string
+val awaiting : t -> Symbol.t option
+
+val symbol_of : t -> string -> Symbol.t
+(** Symbol of the next occurrence of the event (with the occurrence
+    count when parametrizing). *)
+
+val attribute_of : t -> Symbol.t -> Attribute.t option
+(** Attributes if the symbol belongs to this agent. *)
+
+val owns : t -> Symbol.t -> bool
+
+val want : t -> (Symbol.t * Attribute.t) option
+(** The event the task wishes to attempt next, if it is not already
+    awaiting a decision and the script has more to do.  The returned
+    event is enabled in the current task state. *)
+
+val begin_attempt : t -> Symbol.t -> unit
+
+val would_make_unreachable : t -> Symbol.t -> Literal.t list
+(** The complements that accepting the event now would entail (the
+    significant events its transition makes unreachable), without
+    advancing the task.  The scheduler vets these complements' guards
+    together with the event's own guard. *)
+
+val on_accepted : t -> Symbol.t -> Literal.t list
+(** The attempted (or triggered) event occurred: advance the task state
+    and return the complements of significant events that have just
+    become unreachable — the agent announces these to the system. *)
+
+val on_rejected : t -> Symbol.t -> unit
+(** The attempted event was permanently forbidden: consult the script's
+    fallback. *)
+
+val trigger : t -> Symbol.t -> Literal.t list option
+(** The scheduler proactively causes the event.  [None] if the event is
+    not enabled in the current state (a trigger fault). *)
+
+val finished : t -> bool
+(** Script exhausted and no decision pending. *)
+
+val undecided_complements : t -> Literal.t list
+(** At end of run: complements of significant events that never occurred
+    (closing the trace into a maximal one).  Empty for parametrizing
+    agents, whose unseen instances are handled by quantification. *)
+
+val occurred_count : t -> int

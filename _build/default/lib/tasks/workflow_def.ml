@@ -1,0 +1,81 @@
+open Wf_core
+type task = {
+  instance : string;
+  model : Task_model.t;
+  site : int;
+  script : Agent.script;
+  parametrize : bool;
+}
+
+type t = {
+  name : string;
+  tasks : task list;
+  deps : (string * Expr.t) list;
+  overrides : (Symbol.t * Attribute.t) list;
+}
+
+let make ~name ~tasks ~deps ?(overrides = []) () =
+  { name; tasks; deps; overrides }
+
+let task ~instance ~model ?(site = 0) ?script ?(parametrize = false) () =
+  let script =
+    match script with Some s -> s | None -> Agent.transactional ()
+  in
+  { instance; model; site; script; parametrize }
+
+let dependencies t = List.map snd t.deps
+
+let alphabet t =
+  List.fold_left
+    (fun acc d -> Symbol.Set.union acc (Expr.symbols d))
+    Symbol.Set.empty (dependencies t)
+
+let base_symbols_of_task task =
+  List.map
+    (fun (ev, _, _) ->
+      Task_model.symbol_of_event task.model ~instance:task.instance ev)
+    task.model.Task_model.significant
+
+let owner_of t sym =
+  let base = Symbol.base sym in
+  List.find_opt
+    (fun task ->
+      List.exists
+        (fun s -> String.equal (Symbol.base s) base)
+        (base_symbols_of_task task))
+    t.tasks
+
+let attribute_of t sym =
+  match
+    List.find_opt (fun (s, _) -> String.equal (Symbol.base s) (Symbol.base sym)) t.overrides
+  with
+  | Some (_, attr) -> attr
+  | None -> (
+      match owner_of t sym with
+      | None -> Attribute.default
+      | Some task ->
+          let plain = Symbol.make (Symbol.base sym) in
+          (match
+             Task_model.event_of_symbol task.model ~instance:task.instance plain
+           with
+          | Some ev -> Task_model.attribute task.model ev
+          | None -> Attribute.default))
+
+let site_of t sym =
+  match owner_of t sym with Some task -> task.site | None -> 0
+
+let num_sites t =
+  1 + List.fold_left (fun acc task -> max acc task.site) 0 t.tasks
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let instances = List.map (fun task -> task.instance) t.tasks in
+  if List.length (List.sort_uniq String.compare instances) <> List.length instances
+  then err "duplicate task instances";
+  Symbol.Set.iter
+    (fun sym ->
+      if owner_of t sym = None then
+        err "symbol %s is not owned by any task" (Symbol.name sym))
+    (alphabet t);
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)

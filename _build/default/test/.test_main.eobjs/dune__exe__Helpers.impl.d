@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Expr Literal QCheck2 QCheck_alcotest String Trace Universe Wf_core

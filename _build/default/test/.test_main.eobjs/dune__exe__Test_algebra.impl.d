@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Catalog Equiv Expr Helpers List Literal Nf Option Semantics Term Trace Universe Wf_core

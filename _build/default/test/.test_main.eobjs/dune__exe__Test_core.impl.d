@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fun Helpers List Literal Printf Symbol Trace Universe Wf_core

@@ -1,0 +1,1 @@
+test/test_guard.ml: Alcotest Expr Formula Fun Guard Helpers List Literal Nf Option Printf QCheck2 Semantics Symbol Term Trace Tsemantics Universe Wf_core

@@ -1,0 +1,1 @@
+test/test_knowledge.ml: Alcotest Expr Format Guard Helpers Knowledge List Literal Nf Option QCheck2 Symbol Term Trace Universe Wf_core

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Catalog Either Elaborate Equiv Expr Helpers Lexer List Parser Ptemplate Symbol Token Wf_core Wf_lang Wf_tasks

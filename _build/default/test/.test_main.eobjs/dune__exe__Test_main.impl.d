@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_algebra Test_core Test_guard Test_knowledge Test_lang Test_param Test_residue Test_sched Test_sim Test_store Test_synth Test_tasks Test_temporal

@@ -1,0 +1,1 @@
+test/test_param.ml: Alcotest Array Catalog Equiv Expr Guard Helpers Int64 Knowledge List Literal Param_driver Param_sched Printf Ptemplate Symbol Trace Wf_core Wf_scheduler Wf_sim Wf_tasks

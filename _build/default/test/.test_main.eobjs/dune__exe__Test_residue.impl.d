@@ -1,0 +1,1 @@
+test/test_residue.ml: Alcotest Automaton Catalog Equiv Expr Helpers List Literal Nf Paths Printf QCheck2 Residue Trace Universe Wf_core

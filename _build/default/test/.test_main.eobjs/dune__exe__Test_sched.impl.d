@@ -1,0 +1,1 @@
+test/test_sched.ml: Agent Alcotest Array Catalog Central_sched Event_sched Expr Helpers Int64 List Literal Printf Symbol Task_model Trace Wf_core Wf_scheduler Wf_sim Wf_tasks Workflow_def

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Heap Helpers List Netsim QCheck2 Rng Stats Wf_sim

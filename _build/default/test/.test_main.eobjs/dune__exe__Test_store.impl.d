@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Helpers Kv List QCheck2 Resource Result Txn Wf_store

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Catalog Compile Correctness Expr Formula Fun Guard Helpers List Literal Printf QCheck2 Semantics Symbol Synth Theorems Trace Tsemantics Universe Wf_core

@@ -1,0 +1,1 @@
+test/test_tasks.ml: Agent Alcotest Attribute Catalog Helpers List Literal Result Symbol Task_model Wf_core Wf_tasks Workflow_def

@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Array Catalog Expr Format Formula Helpers List Literal Printf QCheck2 Semantics Symbol Symbol_state Tables Trace Tsemantics Universe Wf_core

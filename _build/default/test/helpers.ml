@@ -1,0 +1,62 @@
+(* Shared test helpers: generators for random algebra expressions and
+   traces over small alphabets, and Alcotest testables. *)
+
+open Wf_core
+
+let check = Alcotest.check
+let checkb msg = Alcotest.check Alcotest.bool msg true
+
+let expr_testable = Alcotest.testable Expr.pp Expr.equal_syntactic
+let trace_testable = Alcotest.testable Trace.pp Trace.equal
+
+let lit name =
+  if String.length name > 0 && name.[0] = '~' then
+    Literal.complement_of (String.sub name 1 (String.length name - 1))
+  else Literal.event name
+
+let e = Expr.event "e"
+let f = Expr.event "f"
+let g = Expr.event "g"
+let ne = Expr.complement "e"
+let nf = Expr.complement "f"
+let ng = Expr.complement "g"
+
+let alpha_ef = Universe.of_names [ "e"; "f" ]
+let alpha_efg = Universe.of_names [ "e"; "f"; "g" ]
+
+(* --- QCheck generators --------------------------------------------------- *)
+
+let symbol_names = [ "e"; "f"; "g" ]
+
+let gen_literal : Literal.t QCheck2.Gen.t =
+  QCheck2.Gen.map2
+    (fun name pos ->
+      if pos then Literal.event name else Literal.complement_of name)
+    (QCheck2.Gen.oneofl symbol_names)
+    QCheck2.Gen.bool
+
+(* Random expressions biased toward the shapes dependencies take:
+   sums of short sequences, occasional conjunctions. *)
+let gen_expr : Expr.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized_size (int_bound 8)
+  @@ fix (fun self n ->
+         if n <= 0 then
+           oneof [ map Expr.atom gen_literal; return Expr.top; return Expr.zero ]
+         else
+           frequency
+             [
+               (2, map Expr.atom gen_literal);
+               (3, map2 Expr.choice (self (n / 2)) (self (n / 2)));
+               (3, map2 Expr.seq (self (n / 2)) (self (n / 2)));
+               (1, map2 Expr.conj (self (n / 2)) (self (n / 2)));
+             ])
+
+let gen_trace_over alphabet : Trace.t QCheck2.Gen.t =
+  QCheck2.Gen.oneofl (Universe.traces alphabet)
+
+let gen_maximal_trace alphabet : Trace.t QCheck2.Gen.t =
+  QCheck2.Gen.oneofl (Universe.maximal_traces alphabet)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)

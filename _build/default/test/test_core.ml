@@ -1,0 +1,119 @@
+(* Symbols, literals, traces, and universe enumeration. *)
+
+open Wf_core
+open Helpers
+
+let test_symbol_identity () =
+  checkb "same name same symbol" (Symbol.equal (Symbol.make "e") (Symbol.make "e"));
+  checkb "different names differ"
+    (not (Symbol.equal (Symbol.make "e") (Symbol.make "f")));
+  check Alcotest.string "plain name" "e" (Symbol.name (Symbol.make "e"));
+  check Alcotest.string "parametrized name" "f(3,4)"
+    (Symbol.name (Symbol.parametrized "f" [ "3"; "4" ]));
+  check Alcotest.string "base strips args" "f"
+    (Symbol.base (Symbol.parametrized "f" [ "3" ]));
+  check
+    Alcotest.(list string)
+    "args recovered" [ "3" ]
+    (Symbol.args (Symbol.parametrized "f" [ "3" ]))
+
+let test_symbol_param_identity () =
+  checkb "same params equal"
+    (Symbol.equal (Symbol.parametrized "f" [ "1" ]) (Symbol.parametrized "f" [ "1" ]));
+  checkb "different params differ"
+    (not (Symbol.equal (Symbol.parametrized "f" [ "1" ]) (Symbol.parametrized "f" [ "2" ])));
+  checkb "plain vs parametrized differ"
+    (not (Symbol.equal (Symbol.make "f") (Symbol.parametrized "f" [ "1" ])))
+
+let test_literal_complement () =
+  let l = Literal.event "e" in
+  checkb "complement flips" (not (Literal.is_pos (Literal.complement l)));
+  checkb "involution: ē̄ = e"
+    (Literal.equal l (Literal.complement (Literal.complement l)));
+  check Alcotest.string "pp positive" "e" (Literal.to_string l);
+  check Alcotest.string "pp negative" "~e"
+    (Literal.to_string (Literal.complement l))
+
+let test_trace_well_formed () =
+  checkb "empty ok" (Trace.well_formed Trace.empty);
+  checkb "distinct ok" (Trace.well_formed (Trace.of_events [ "e"; "~f" ]));
+  checkb "repeat rejected" (not (Trace.well_formed (Trace.of_events [ "e"; "e" ])));
+  checkb "complement pair rejected"
+    (not (Trace.well_formed (Trace.of_events [ "e"; "~e" ])))
+
+let test_trace_maximal () =
+  let alpha = alpha_ef in
+  checkb "both decided is maximal"
+    (Trace.maximal alpha (Trace.of_events [ "e"; "~f" ]));
+  checkb "partial is not maximal"
+    (not (Trace.maximal alpha (Trace.of_events [ "e" ])))
+
+let test_trace_ops () =
+  let u = Trace.of_events [ "e"; "~f"; "g" ] in
+  check Alcotest.int "length" 3 (Trace.length u);
+  check trace_testable "prefix 2" (Trace.of_events [ "e"; "~f" ]) (Trace.prefix 2 u);
+  check trace_testable "suffix 1" (Trace.of_events [ "~f"; "g" ]) (Trace.suffix 1 u);
+  check Alcotest.int "splits count" 4 (List.length (Trace.splits u));
+  check
+    Alcotest.(option int)
+    "index of ~f" (Some 2)
+    (Trace.index_of (lit "~f") u);
+  check Alcotest.(option int) "index of missing" None (Trace.index_of (lit "f") u)
+
+let test_trace_append () =
+  let u = Trace.of_events [ "e" ] and v = Trace.of_events [ "f" ] in
+  checkb "disjoint appends" (Trace.append u v <> None);
+  checkb "clash refuses" (Trace.append u (Trace.of_events [ "~e" ]) = None)
+
+let test_universe_example1 () =
+  (* Example 1: |U_E| = 13 for Γ = {e, ē, f, f̄}. *)
+  check Alcotest.int "example 1 size" 13 (List.length (Universe.traces alpha_ef));
+  checkb "empty trace included"
+    (List.exists (Trace.equal Trace.empty) (Universe.traces alpha_ef));
+  checkb "all well formed"
+    (List.for_all Trace.well_formed (Universe.traces alpha_ef))
+
+let test_universe_counts () =
+  List.iter
+    (fun n ->
+      let names = List.filteri (fun i _ -> i < n) [ "a"; "b"; "c"; "d" ] in
+      let alpha = Universe.of_names names in
+      check Alcotest.int
+        (Printf.sprintf "count %d" n)
+        (Universe.count n)
+        (List.length (Universe.traces alpha));
+      check Alcotest.int
+        (Printf.sprintf "count_maximal %d" n)
+        (Universe.count_maximal n)
+        (List.length (Universe.maximal_traces alpha)))
+    [ 0; 1; 2; 3 ]
+
+let test_universe_maximal () =
+  let ms = Universe.maximal_traces alpha_ef in
+  check Alcotest.int "2^2 * 2! maximal traces" 8 (List.length ms);
+  checkb "every maximal trace decides both symbols"
+    (List.for_all (Trace.maximal alpha_ef) ms)
+
+let suite =
+  [
+    Alcotest.test_case "symbol identity" `Quick test_symbol_identity;
+    Alcotest.test_case "parametrized symbols" `Quick test_symbol_param_identity;
+    Alcotest.test_case "literal complement" `Quick test_literal_complement;
+    Alcotest.test_case "trace well-formedness" `Quick test_trace_well_formed;
+    Alcotest.test_case "trace maximality" `Quick test_trace_maximal;
+    Alcotest.test_case "trace operations" `Quick test_trace_ops;
+    Alcotest.test_case "trace append" `Quick test_trace_append;
+    Alcotest.test_case "universe of Example 1" `Quick test_universe_example1;
+    Alcotest.test_case "universe counting formulas" `Quick test_universe_counts;
+    Alcotest.test_case "maximal universe" `Quick test_universe_maximal;
+    qtest "prefix ++ suffix = trace"
+      (gen_trace_over alpha_efg)
+      (fun u ->
+        List.for_all
+          (fun i -> Trace.equal u (Trace.prefix i u @ Trace.suffix i u))
+          (List.init (Trace.length u + 1) Fun.id));
+    qtest "splits recompose"
+      (gen_trace_over alpha_efg)
+      (fun u ->
+        List.for_all (fun (v, w) -> Trace.equal u (v @ w)) (Trace.splits u));
+  ]

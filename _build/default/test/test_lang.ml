@@ -1,0 +1,215 @@
+(* The workflow specification language: lexer, parser, elaborator. *)
+
+open Wf_core
+open Wf_lang
+open Helpers
+
+let parse_expr_ground src =
+  match Elaborate.expr_of_ast (Parser.parse_expr src) with
+  | Either.Left e -> e
+  | Either.Right _ -> Alcotest.fail ("unexpected template: " ^ src)
+
+let test_lexer () =
+  let toks = List.map fst (Lexer.tokens "~e + f . (g | T) # comment\n0") in
+  check Alcotest.int "token count" 12 (List.length toks);
+  checkb "tilde first" (List.hd toks = Token.TILDE);
+  checkb "comment skipped"
+    (not (List.exists (function Token.IDENT "comment" -> true | _ -> false) toks))
+
+let test_lexer_errors () =
+  checkb "bad char"
+    (try
+       ignore (Lexer.tokens "e $ f");
+       false
+     with Lexer.Error _ -> true);
+  checkb "unterminated string"
+    (try
+       ignore (Lexer.tokens {|script "abc|});
+       false
+     with Lexer.Error _ -> true)
+
+let test_expr_parsing () =
+  checkb "D< parses"
+    (Equiv.equal (parse_expr_ground "~e + ~f + e.f") Catalog.d_lt);
+  checkb "precedence: . over |"
+    (Equiv.equal (parse_expr_ground "e.f | g") (Expr.conj (Expr.seq e f) g));
+  checkb "precedence: | over +"
+    (Equiv.equal (parse_expr_ground "e | f + g") (Expr.choice (Expr.conj e f) g));
+  checkb "parens"
+    (Equiv.equal (parse_expr_ground "(e + f).g") (Expr.seq (Expr.choice e f) g));
+  checkb "constants"
+    (Equiv.equal (parse_expr_ground "T | 0 + e") e)
+
+let test_pp_parse_roundtrip () =
+  (* The printed form of every catalog dependency parses back to an
+     equivalent expression. *)
+  List.iter
+    (fun (name, d) ->
+      checkb (name ^ " roundtrips")
+        (Equiv.equal (parse_expr_ground (Expr.to_string d)) d))
+    Catalog.named
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      checkb ("rejects " ^ src)
+        (try
+           ignore (Parser.parse_expr src);
+           false
+         with Parser.Error _ -> true))
+    [ "e +"; "( e"; "e ."; "+ e"; "e f" ]
+
+let travel_spec =
+  {|
+workflow travel {
+  task buy    : transaction   at 0;
+  task book   : compensatable at 1 script "commit";
+  task cancel : compensatable at 2 script "commit";
+  dep d1: ~s_buy + s_book;
+  dep d2: ~c_buy + c_book . c_buy;
+  dep d3: ~c_book + c_buy + s_cancel;
+}
+|}
+
+let test_elaborate_travel () =
+  let { Elaborate.def; templates } = Elaborate.load_string travel_spec in
+  checkb "no templates" (templates = []);
+  check Alcotest.int "three tasks" 3 (List.length def.Wf_tasks.Workflow_def.tasks);
+  check Alcotest.int "three deps" 3
+    (List.length def.Wf_tasks.Workflow_def.deps);
+  (match Wf_tasks.Workflow_def.validate def with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* The parsed deps match the catalog's rendering of Example 4. *)
+  List.iter2
+    (fun (_, parsed) (_, expected) ->
+      checkb "dependency matches Example 4" (Equiv.equal parsed expected))
+    def.Wf_tasks.Workflow_def.deps
+    (Catalog.travel_workflow ())
+
+let test_macros () =
+  let spec =
+    {|
+workflow m {
+  task t1 : transaction at 0;
+  task t2 : transaction at 1;
+  dep a: c_t1 < c_t2;
+  dep b: c_t1 -> c_t2;
+  dep c: use exclusion(t1, t2);
+}
+|}
+  in
+  let { Elaborate.def; _ } = Elaborate.load_string spec in
+  (match def.Wf_tasks.Workflow_def.deps with
+  | [ (_, a); (_, b); (_, c) ] ->
+      checkb "order macro" (Equiv.equal a (Catalog.commit_order "t1" "t2"));
+      checkb "arrow macro" (Equiv.equal b (Catalog.strong_commit "t1" "t2"));
+      checkb "use macro" (Equiv.equal c (Catalog.exclusion "t1" "t2"))
+  | _ -> Alcotest.fail "expected three deps")
+
+let test_attrs_and_options () =
+  let spec =
+    {|
+workflow o {
+  task t : transaction at 2 script "start,commit" onreject "commit->abort";
+  task l : loop at 1 loop 3;
+  dep d: c_t -> b_l[1];
+  attr c_t triggerable nondelayable;
+}
+|}
+  in
+  let { Elaborate.def; _ } = Elaborate.load_string spec in
+  let attr = Wf_tasks.Workflow_def.attribute_of def (Symbol.make "c_t") in
+  checkb "triggerable override" attr.Wf_tasks.Attribute.triggerable;
+  checkb "nondelayable override" (not attr.Wf_tasks.Attribute.delayable);
+  let t =
+    List.find
+      (fun (t : Wf_tasks.Workflow_def.task) -> t.Wf_tasks.Workflow_def.instance = "t")
+      def.Wf_tasks.Workflow_def.tasks
+  in
+  check Alcotest.int "site" 2 t.Wf_tasks.Workflow_def.site;
+  check Alcotest.(list string) "script steps" [ "start"; "commit" ]
+    t.Wf_tasks.Workflow_def.script.Wf_tasks.Agent.steps;
+  check Alcotest.(option string) "onreject" (Some "abort")
+    (t.Wf_tasks.Workflow_def.script.Wf_tasks.Agent.on_reject "commit")
+
+let test_parametrized_spec () =
+  let spec =
+    {|
+workflow mx {
+  task t1 : loop at 0 loop 2 param;
+  task t2 : loop at 1 loop 2 param;
+  dep m: b_t2[y].b_t1[x] + ~e_t1[x] + ~b_t2[y] + e_t1[x].b_t2[y];
+}
+|}
+  in
+  let { Elaborate.def; templates } = Elaborate.load_string spec in
+  check Alcotest.int "one template" 1 (List.length templates);
+  checkb "no ground deps" (def.Wf_tasks.Workflow_def.deps = []);
+  let _, t = List.hd templates in
+  check Alcotest.(list string) "vars" [ "y"; "x" ] (Ptemplate.vars t);
+  checkb "matches the catalog template"
+    (Ptemplate.atoms t
+    = Ptemplate.atoms (Ptemplate.mutual_exclusion_template ~t1:"t1" ~t2:"t2"))
+
+let test_two_phase_spec () =
+  let spec =
+    {|
+workflow tp {
+  task coord : rda at 0 script "start,precommit,commit" onreject "commit->abort";
+  task p1    : rda at 1;
+  dep prep: use commit_after_prepared(coord, p1);
+  dep dec:  use commit_on_commit(coord, p1);
+}
+|}
+  in
+  let { Elaborate.def; templates } = Elaborate.load_string spec in
+  checkb "ground spec" (templates = []);
+  (match Wf_tasks.Workflow_def.validate def with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  match def.Wf_tasks.Workflow_def.deps with
+  | [ (_, prep); (_, dec) ] ->
+      checkb "prep macro"
+        (Equiv.equal prep (Catalog.commit_after_prepared "coord" "p1"));
+      checkb "dec macro" (Equiv.equal dec (Catalog.commit_on_commit "coord" "p1"))
+  | _ -> Alcotest.fail "expected two deps"
+
+let test_elaborate_errors () =
+  List.iter
+    (fun (name, spec) ->
+      checkb name
+        (try
+           ignore (Elaborate.load_string spec);
+           false
+         with Elaborate.Error _ -> true))
+    [
+      ( "unknown model",
+        {|workflow w { task t : warp at 0; }|} );
+      ( "unknown macro",
+        {|workflow w { task t1 : transaction; task t2 : transaction; dep d: use frobnicate(t1, t2); }|}
+      );
+      ( "unknown flag",
+        {|workflow w { task t : transaction; dep d: c_t -> c_t; attr c_t sparkly; }|}
+      );
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "lexer" `Quick test_lexer;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "expression parsing" `Quick test_expr_parsing;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_pp_parse_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "elaborate travel" `Quick test_elaborate_travel;
+    Alcotest.test_case "Klein and catalog macros" `Quick test_macros;
+    Alcotest.test_case "attributes and task options" `Quick test_attrs_and_options;
+    Alcotest.test_case "parametrized specifications" `Quick test_parametrized_spec;
+    Alcotest.test_case "two-phase spec" `Quick test_two_phase_spec;
+    Alcotest.test_case "elaboration errors" `Quick test_elaborate_errors;
+    qtest ~count:100 "printed expressions reparse equivalently" gen_expr
+      (fun x ->
+        match Elaborate.expr_of_ast (Parser.parse_expr (Expr.to_string x)) with
+        | Either.Left back -> Equiv.equal back x
+        | Either.Right _ -> false);
+  ]

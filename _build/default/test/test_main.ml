@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "wf_repro"
+    [
+      ("core", Test_core.suite);
+      ("algebra", Test_algebra.suite);
+      ("residuation", Test_residue.suite);
+      ("temporal", Test_temporal.suite);
+      ("guards", Test_guard.suite);
+      ("knowledge", Test_knowledge.suite);
+      ("synthesis", Test_synth.suite);
+      ("simulator", Test_sim.suite);
+      ("tasks", Test_tasks.suite);
+      ("store", Test_store.suite);
+      ("schedulers", Test_sched.suite);
+      ("parametrized", Test_param.suite);
+      ("language", Test_lang.suite);
+    ]

@@ -1,0 +1,238 @@
+(* Parametrized dependencies (Section 5): templates, unification, and
+   the parametrized scheduling engine on Examples 13 and 14. *)
+
+open Wf_core
+open Wf_scheduler
+open Helpers
+
+let test_template_vars () =
+  let t = Ptemplate.mutual_exclusion_template ~t1:"t1" ~t2:"t2" in
+  check Alcotest.(list string) "vars in order" [ "y"; "x" ] (Ptemplate.vars t);
+  check Alcotest.int "five distinct atoms" 5 (List.length (Ptemplate.atoms t))
+
+let test_instantiate () =
+  let t =
+    Ptemplate.choice_all
+      [
+        Ptemplate.atom ~pol:Literal.Neg "f" [ Ptemplate.Var "y" ];
+        Ptemplate.atom "g" [ Ptemplate.Var "y" ];
+      ]
+  in
+  let ground = Ptemplate.instantiate [ ("y", "3") ] t in
+  check Alcotest.string "instantiated" "~f(3) + g(3)" (Expr.to_string ground);
+  checkb "unbound raises"
+    (try
+       ignore (Ptemplate.instantiate [] t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_skeleton_roundtrip () =
+  let t = Ptemplate.atom "f" [ Ptemplate.Var "x"; Ptemplate.Const "9" ] in
+  match Ptemplate.skeleton t with
+  | Expr.Atom l ->
+      check Alcotest.string "marker form" "f(?x,9)" (Symbol.name (Literal.symbol l))
+  | _ -> Alcotest.fail "expected atom"
+
+let test_match_symbol () =
+  let a =
+    { Ptemplate.base = "f"; pol = Literal.Pos; params = [ Ptemplate.Var "x"; Ptemplate.Const "1" ] }
+  in
+  check
+    Alcotest.(option (list (pair string string)))
+    "match binds" (Some [ ("x", "7") ])
+    (Ptemplate.match_symbol a (Symbol.parametrized "f" [ "7"; "1" ]));
+  checkb "constant mismatch"
+    (Ptemplate.match_symbol a (Symbol.parametrized "f" [ "7"; "2" ]) = None);
+  checkb "arity mismatch"
+    (Ptemplate.match_symbol a (Symbol.parametrized "f" [ "7" ]) = None);
+  checkb "base mismatch"
+    (Ptemplate.match_symbol a (Symbol.parametrized "g" [ "7"; "1" ]) = None);
+  (* Repeated variables must agree. *)
+  let rep =
+    { Ptemplate.base = "h"; pol = Literal.Pos; params = [ Ptemplate.Var "x"; Ptemplate.Var "x" ] }
+  in
+  checkb "repeated var agreement"
+    (Ptemplate.match_symbol rep (Symbol.parametrized "h" [ "1"; "1" ]) <> None);
+  checkb "repeated var disagreement"
+    (Ptemplate.match_symbol rep (Symbol.parametrized "h" [ "1"; "2" ]) = None)
+
+let test_of_expr_lifts () =
+  let t = Ptemplate.of_expr Catalog.d_lt in
+  check Alcotest.(list string) "ground template has no vars" [] (Ptemplate.vars t);
+  checkb "instantiates back"
+    (Equiv.equal (Ptemplate.instantiate [] t) Catalog.d_lt)
+
+(* --- the engine on Example 13 --------------------------------------------- *)
+
+let mutex_engine () =
+  Param_sched.create
+    [
+      Ptemplate.mutual_exclusion_template ~t1:"t1" ~t2:"t2";
+      Ptemplate.mutual_exclusion_template ~t1:"t2" ~t2:"t1";
+    ]
+
+let b task k = Symbol.parametrized ("b_" ^ task) [ string_of_int k ]
+let e_ task k = Symbol.parametrized ("e_" ^ task) [ string_of_int k ]
+
+let test_mutex_blocking () =
+  let eng = mutex_engine () in
+  checkb "t1 enters" (Param_sched.attempt eng (b "t1" 1) = Param_sched.Accepted);
+  checkb "t2 blocked" (Param_sched.attempt eng (b "t2" 1) = Param_sched.Parked);
+  checkb "t1 exits" (Param_sched.attempt eng (e_ "t1" 1) = Param_sched.Accepted);
+  (* The parked token was admitted by the retry. *)
+  checkb "t2 admitted" (Param_sched.parked eng = []);
+  checkb "t2's token went through"
+    (Trace.mem (Literal.pos (b "t2" 1)) (Param_sched.trace eng))
+
+let test_mutex_safety_random () =
+  (* Random interleavings, many rounds: never both inside. *)
+  List.iter
+    (fun seed ->
+      let eng = mutex_engine () in
+      let rng = Wf_sim.Rng.create (Int64.of_int seed) in
+      let state = [| (0, false); (0, false) |] in
+      let names = [| "t1"; "t2" |] in
+      let rounds = 5 in
+      let steps = ref 0 in
+      while
+        (fst state.(0) < rounds || fst state.(1) < rounds) && !steps < 5000
+      do
+        incr steps;
+        let i = if Wf_sim.Rng.bool rng then 0 else 1 in
+        let round, inside = state.(i) in
+        if round < rounds then begin
+          let sym =
+            if inside then e_ names.(i) (round + 1) else b names.(i) (round + 1)
+          in
+          match Param_sched.attempt eng sym with
+          | Param_sched.Accepted | Param_sched.Already ->
+              state.(i) <- (if inside then (round + 1, false) else (round, true))
+          | Param_sched.Parked -> ()
+          | Param_sched.Rejected -> Alcotest.fail "unexpected rejection"
+        end
+      done;
+      let trace = Param_sched.trace eng in
+      checkb
+        (Printf.sprintf "all rounds finish (seed %d)" seed)
+        (fst state.(0) = rounds && fst state.(1) = rounds);
+      (* Safety check over the realized trace. *)
+      let inside1 = ref false and inside2 = ref false and ok = ref true in
+      List.iter
+        (fun (l : Literal.t) ->
+          if Literal.is_pos l then begin
+            match Symbol.base (Literal.symbol l) with
+            | "b_t1" ->
+                if !inside2 then ok := false;
+                inside1 := true
+            | "e_t1" -> inside1 := false
+            | "b_t2" ->
+                if !inside1 then ok := false;
+                inside2 := true
+            | "e_t2" -> inside2 := false
+            | _ -> ()
+          end)
+        trace;
+      checkb (Printf.sprintf "mutual exclusion (seed %d)" seed) !ok;
+      checkb
+        (Printf.sprintf "well-formed trace (seed %d)" seed)
+        (Trace.well_formed trace))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_example14 () =
+  let template =
+    Guard.sum
+      (Guard.hasnt (Literal.pos (Symbol.parametrized "f" [ "?y" ])))
+      (Guard.has (Literal.pos (Symbol.parametrized "g" [ "?y" ])))
+  in
+  let eng = Param_sched.create [] in
+  let status () = Param_sched.instance_status eng template ~bound:[] in
+  checkb "enabled initially" (status () = Knowledge.True);
+  Param_sched.occurred eng (Literal.pos (Symbol.parametrized "f" [ "5" ]));
+  checkb "must wait after f[5]" (status () = Knowledge.Unknown);
+  Param_sched.occurred eng (Literal.pos (Symbol.parametrized "g" [ "5" ]));
+  checkb "resurrected after g[5]" (status () = Knowledge.True);
+  (* another binding *)
+  Param_sched.occurred eng (Literal.pos (Symbol.parametrized "f" [ "6" ]));
+  checkb "grows again" (status () = Knowledge.Unknown);
+  Param_sched.occurred eng (Literal.pos (Symbol.parametrized "g" [ "6" ]));
+  checkb "resurrected again" (status () = Knowledge.True)
+
+let test_bound_variables () =
+  (* Intra-workflow parameters (Example 12): binding the variable keys
+     the guard to that instance only. *)
+  let template =
+    Guard.has (Literal.pos (Symbol.parametrized "c_book" [ "?cid" ]))
+  in
+  let eng = Param_sched.create [] in
+  Param_sched.occurred eng (Literal.pos (Symbol.parametrized "c_book" [ "1" ]));
+  checkb "bound to committed instance"
+    (Param_sched.instance_status eng template ~bound:[ ("cid", "1") ]
+    = Knowledge.True);
+  checkb "other instance still waiting"
+    (Param_sched.instance_status eng template ~bound:[ ("cid", "2") ]
+    = Knowledge.Unknown)
+
+let test_already_and_dedup () =
+  let eng = mutex_engine () in
+  ignore (Param_sched.attempt eng (b "t1" 1));
+  checkb "re-attempt reports Already"
+    (Param_sched.attempt eng (b "t1" 1) = Param_sched.Already);
+  ignore (Param_sched.attempt eng (b "t2" 1));
+  ignore (Param_sched.attempt eng (b "t2" 1));
+  check Alcotest.int "parked deduplicated" 1
+    (List.length (Param_sched.parked eng))
+
+let test_param_driver () =
+  (* The mutex workflow of Example 13, driven end to end from a
+     workflow definition. *)
+  let wf =
+    Wf_tasks.Workflow_def.make ~name:"mutex"
+      ~tasks:
+        [
+          Wf_tasks.Workflow_def.task ~instance:"t1"
+            ~model:Wf_tasks.Task_model.loop_task
+            ~script:(Wf_tasks.Agent.looping 4) ~parametrize:true ();
+          Wf_tasks.Workflow_def.task ~instance:"t2"
+            ~model:Wf_tasks.Task_model.loop_task
+            ~script:(Wf_tasks.Agent.looping 4) ~parametrize:true ();
+        ]
+      ~deps:[] ()
+  in
+  List.iter
+    (fun seed ->
+      let r =
+        Param_driver.run ~seed:(Int64.of_int seed)
+          ~templates:
+            [
+              Ptemplate.mutual_exclusion_template ~t1:"t1" ~t2:"t2";
+              Ptemplate.mutual_exclusion_template ~t1:"t2" ~t2:"t1";
+            ]
+          wf
+      in
+      checkb
+        (Printf.sprintf "driver finishes (seed %d)" seed)
+        r.Param_driver.finished;
+      check Alcotest.int
+        (Printf.sprintf "16 tokens realized (seed %d)" seed)
+        16
+        (Trace.length r.Param_driver.trace);
+      checkb
+        (Printf.sprintf "trace well-formed (seed %d)" seed)
+        (Trace.well_formed r.Param_driver.trace))
+    [ 3; 7; 11 ]
+
+let suite =
+  [
+    Alcotest.test_case "parametrized workflow driver" `Quick test_param_driver;
+    Alcotest.test_case "template variables" `Quick test_template_vars;
+    Alcotest.test_case "instantiation" `Quick test_instantiate;
+    Alcotest.test_case "skeleton markers" `Quick test_skeleton_roundtrip;
+    Alcotest.test_case "pattern matching" `Quick test_match_symbol;
+    Alcotest.test_case "lifting ground expressions" `Quick test_of_expr_lifts;
+    Alcotest.test_case "Example 13: blocking" `Quick test_mutex_blocking;
+    Alcotest.test_case "Example 13: random interleavings" `Slow
+      test_mutex_safety_random;
+    Alcotest.test_case "Example 14: resurrection" `Quick test_example14;
+    Alcotest.test_case "Example 12: bound parameters" `Quick test_bound_variables;
+    Alcotest.test_case "Already and parking dedup" `Quick test_already_and_dedup;
+  ]

@@ -1,0 +1,396 @@
+(* End-to-end scheduler tests: the distributed event-centric scheduler
+   and the centralized baseline always realize traces satisfying every
+   dependency (and generated per Definition 4), across seeds, failure
+   injections, and latency regimes. *)
+
+open Wf_core
+open Wf_tasks
+open Wf_scheduler
+open Helpers
+
+let travel_wf ?(buy_fails = false) () =
+  let buy_script =
+    if buy_fails then Agent.aborting () else Agent.transactional ()
+  in
+  Workflow_def.make ~name:"travel"
+    ~tasks:
+      [
+        Workflow_def.task ~instance:"buy" ~model:Task_model.transaction ~site:0
+          ~script:buy_script ();
+        Workflow_def.task ~instance:"book"
+          ~model:Task_model.compensatable_transaction ~site:1
+          ~script:(Agent.straight_line [ "commit" ]) ();
+        Workflow_def.task ~instance:"cancel"
+          ~model:Task_model.compensatable_transaction ~site:2
+          ~script:(Agent.straight_line [ "commit" ]) ();
+      ]
+    ~deps:(Catalog.travel_workflow ())
+    ()
+
+let pair_wf deps =
+  Workflow_def.make ~name:"pair"
+    ~tasks:
+      [
+        Workflow_def.task ~instance:"t1" ~model:Task_model.transaction ~site:0 ();
+        Workflow_def.task ~instance:"t2" ~model:Task_model.transaction ~site:1 ();
+      ]
+    ~deps ()
+
+let run_dist ?(seed = 42L) ?(check_generates = true) wf =
+  Event_sched.run
+    ~config:{ Event_sched.default_config with seed; check_generates }
+    wf
+
+let committed (r : Event_sched.result) task =
+  List.exists
+    (fun (o : Event_sched.occurrence) ->
+      Literal.is_pos o.Event_sched.lit
+      && Symbol.name (Literal.symbol o.Event_sched.lit) = "c_" ^ task)
+    r.Event_sched.trace
+
+let assert_good name (r : Event_sched.result) =
+  checkb (name ^ ": satisfied") r.Event_sched.satisfied;
+  (match r.Event_sched.generated with
+  | Some gen -> checkb (name ^ ": generated") gen
+  | None -> ());
+  (* The realized trace is well-formed. *)
+  checkb (name ^ ": well-formed trace")
+    (Trace.well_formed (Event_sched.trace_literals r))
+
+let test_travel_happy () =
+  let r = run_dist (travel_wf ()) in
+  assert_good "travel" r;
+  checkb "book committed" (committed r "book");
+  checkb "buy committed" (committed r "buy");
+  (* d2: c_book precedes c_buy on the realized trace. *)
+  let t = Event_sched.trace_literals r in
+  (match (Trace.index_of (lit "c_book") t, Trace.index_of (lit "c_buy") t) with
+  | Some i, Some j -> checkb "commit order respected" (i < j)
+  | _ -> Alcotest.fail "expected both commits")
+
+let test_travel_failure () =
+  let r = run_dist (travel_wf ~buy_fails:true ()) in
+  assert_good "travel-fail" r;
+  checkb "buy aborted" (not (committed r "buy"));
+  (* d3: compensation ran. *)
+  checkb "cancel started"
+    (Trace.mem (lit "s_cancel") (Event_sched.trace_literals r)
+    || not (committed r "book"))
+
+let test_seed_sweep () =
+  List.iter
+    (fun seed ->
+      let r =
+        run_dist ~seed:(Int64.of_int seed)
+          (travel_wf ~buy_fails:(seed mod 2 = 0) ())
+      in
+      assert_good (Printf.sprintf "travel seed %d" seed) r)
+    (List.init 12 (fun i -> i + 1))
+
+let test_commit_order_pair () =
+  let r = run_dist (pair_wf [ ("cd", Catalog.commit_order "t1" "t2") ]) in
+  assert_good "commit order" r;
+  checkb "both committed" (committed r "t1" && committed r "t2");
+  let t = Event_sched.trace_literals r in
+  (match (Trace.index_of (lit "c_t1") t, Trace.index_of (lit "c_t2") t) with
+  | Some i, Some j -> checkb "order" (i < j)
+  | _ -> Alcotest.fail "expected both")
+
+let test_mutual_eventuality () =
+  (* Example 11: guards ◇c_t2 on c_t1 and ◇c_t1 on c_t2 — resolved by
+     the promise consensus; both must commit. *)
+  let r =
+    run_dist
+      (pair_wf
+         [
+           ("d", Catalog.strong_commit "t1" "t2");
+           ("dT", Catalog.strong_commit "t2" "t1");
+         ])
+  in
+  assert_good "example 11" r;
+  checkb "both commit via promises" (committed r "t1" && committed r "t2")
+
+let test_order_and_requirement () =
+  (* commit order + strong commit: reservation + conditional promise. *)
+  let r =
+    run_dist
+      (pair_wf
+         [
+           ("cd", Catalog.commit_order "t1" "t2");
+           ("sc", Catalog.strong_commit "t1" "t2");
+         ])
+  in
+  assert_good "order+requirement" r;
+  checkb "both commit" (committed r "t1" && committed r "t2")
+
+let test_exclusion () =
+  let r = run_dist (pair_wf [ ("ex", Catalog.exclusion "t1" "t2") ]) in
+  assert_good "exclusion" r;
+  checkb "at most one commits" (not (committed r "t1" && committed r "t2"));
+  checkb "at least one commits (no over-blocking)"
+    (committed r "t1" || committed r "t2")
+
+let test_abort_dependency () =
+  let wf =
+    Workflow_def.make ~name:"ad"
+      ~tasks:
+        [
+          Workflow_def.task ~instance:"t1" ~model:Task_model.transaction ~site:0
+            ~script:(Agent.aborting ()) ();
+          Workflow_def.task ~instance:"t2" ~model:Task_model.transaction ~site:1 ();
+        ]
+      ~deps:[ ("ad", Catalog.abort_dependency "t1" "t2") ]
+      ()
+  in
+  let r = run_dist wf in
+  assert_good "abort dependency" r;
+  let t = Event_sched.trace_literals r in
+  checkb "t1 aborted" (Trace.mem (lit "a_t1") t);
+  checkb "t2 aborted too" (Trace.mem (lit "a_t2") t)
+
+let test_serial_dependency () =
+  let r = run_dist (pair_wf [ ("sd", Catalog.serial "t1" "t2") ]) in
+  assert_good "serial" r;
+  let t = Event_sched.trace_literals r in
+  match (Trace.index_of (lit "c_t1") t, Trace.index_of (lit "s_t2") t) with
+  | Some i, Some j -> checkb "t2 starts after t1 terminates" (i < j)
+  | _ -> checkb "t2 never started or t1 never finished" true
+
+let test_latency_regimes () =
+  List.iter
+    (fun (latency, jitter) ->
+      let r =
+        Event_sched.run
+          ~config:
+            {
+              Event_sched.default_config with
+              base_latency = latency;
+              jitter;
+              check_generates = true;
+            }
+          (travel_wf ())
+      in
+      assert_good (Printf.sprintf "latency %.1f" latency) r)
+    [ (0.1, 0.0); (1.0, 0.5); (10.0, 5.0) ]
+
+let test_trace_maximal () =
+  let r = run_dist (travel_wf ()) in
+  let t = Event_sched.trace_literals r in
+  let deps = List.map snd (Catalog.travel_workflow ()) in
+  let alpha =
+    List.fold_left
+      (fun a d -> Symbol.Set.union a (Expr.symbols d))
+      Symbol.Set.empty deps
+  in
+  checkb "closing made the trace maximal" (Trace.maximal alpha t)
+
+let two_phase_wf ~p1_fails =
+  let rda_script fails =
+    if fails then Agent.aborting ()
+    else
+      {
+        Agent.steps = [ "start"; "precommit"; "commit" ];
+        on_reject = (function "commit" | "precommit" -> Some "abort" | _ -> None);
+        repeat = 1;
+      }
+  in
+  Workflow_def.make ~name:"two-phase"
+    ~tasks:
+      [
+        Workflow_def.task ~instance:"coord" ~model:Task_model.rda_transaction
+          ~site:0 ~script:(rda_script false) ();
+        Workflow_def.task ~instance:"p1" ~model:Task_model.rda_transaction
+          ~site:1 ~script:(rda_script p1_fails) ();
+        Workflow_def.task ~instance:"p2" ~model:Task_model.rda_transaction
+          ~site:2 ~script:(rda_script false) ();
+      ]
+    ~deps:
+      [
+        ("prep1", Catalog.commit_after_prepared "coord" "p1");
+        ("prep2", Catalog.commit_after_prepared "coord" "p2");
+        ("dec1", Catalog.commit_on_commit "coord" "p1");
+        ("dec2", Catalog.commit_on_commit "coord" "p2");
+        ("ab1", Catalog.abort_dependency "coord" "p1");
+        ("ab2", Catalog.abort_dependency "coord" "p2");
+      ]
+    ()
+
+let test_two_phase_commit () =
+  (* Happy path: prepares precede the coordinator's commit, which
+     precedes both participants' commits. *)
+  let r = run_dist ~check_generates:false (two_phase_wf ~p1_fails:false) in
+  checkb "2pc satisfied" r.Event_sched.satisfied;
+  let t = Event_sched.trace_literals r in
+  checkb "all commit"
+    (committed r "coord" && committed r "p1" && committed r "p2");
+  let idx name = Trace.index_of (lit name) t in
+  (match (idx "p_p1", idx "p_p2", idx "c_coord", idx "c_p1", idx "c_p2") with
+  | Some pp1, Some pp2, Some cc, Some cp1, Some cp2 ->
+      checkb "prepare before coordinator commit" (pp1 < cc && pp2 < cc);
+      checkb "coordinator commits before participants" (cc < cp1 && cc < cp2)
+  | _ -> Alcotest.fail "expected all two-phase events")
+
+let test_two_phase_abort () =
+  (* A participant aborts before preparing: nobody commits. *)
+  let r = run_dist ~check_generates:false (two_phase_wf ~p1_fails:true) in
+  checkb "2pc abort satisfied" r.Event_sched.satisfied;
+  checkb "no one commits"
+    (not (committed r "coord" || committed r "p1" || committed r "p2"));
+  let t = Event_sched.trace_literals r in
+  checkb "everyone aborted"
+    (Trace.mem (lit "a_coord") t && Trace.mem (lit "a_p1") t
+    && Trace.mem (lit "a_p2") t)
+
+(* Random catalog workflows: whatever the scheduler realizes must
+   satisfy every dependency (the system's core guarantee). *)
+let catalog_pool =
+  [|
+    (fun () -> Catalog.commit_order "t1" "t2");
+    (fun () -> Catalog.commit_order "t2" "t1");
+    (fun () -> Catalog.strong_commit "t1" "t2");
+    (fun () -> Catalog.strong_commit "t2" "t1");
+    (fun () -> Catalog.abort_dependency "t1" "t2");
+    (fun () -> Catalog.weak_abort "t1" "t2");
+    (fun () -> Catalog.exclusion "t1" "t2");
+    (fun () -> Catalog.begin_order "t1" "t2");
+    (fun () -> Catalog.begin_on_commit "t1" "t2");
+    (fun () -> Catalog.serial "t1" "t2");
+    (fun () -> Catalog.commit_on_commit "t1" "t2");
+  |]
+
+let test_random_catalog_workflows () =
+  let rng = Wf_sim.Rng.create 2024L in
+  for trial = 1 to 30 do
+    let k = 1 + Wf_sim.Rng.int rng 3 in
+    let deps =
+      List.init k (fun i ->
+          ( Printf.sprintf "d%d" i,
+            catalog_pool.(Wf_sim.Rng.int rng (Array.length catalog_pool)) () ))
+    in
+    let wf =
+      Workflow_def.make ~name:"random"
+        ~tasks:
+          [
+            Workflow_def.task ~instance:"t1" ~model:Task_model.transaction
+              ~site:0
+              ~script:
+                (if Wf_sim.Rng.int rng 4 = 0 then Agent.aborting ()
+                 else Agent.transactional ())
+              ();
+            Workflow_def.task ~instance:"t2" ~model:Task_model.transaction
+              ~site:1
+              ~script:
+                (if Wf_sim.Rng.int rng 4 = 0 then Agent.aborting ()
+                 else Agent.transactional ())
+              ();
+          ]
+        ~deps ()
+    in
+    let r =
+      Event_sched.run
+        ~config:
+          {
+            Event_sched.default_config with
+            seed = Int64.of_int trial;
+            check_generates = false;
+          }
+        wf
+    in
+    if not r.Event_sched.satisfied then begin
+      List.iter
+        (fun (n, d) -> Printf.printf "dep %s: %s
+" n (Expr.to_string d))
+        deps;
+      Printf.printf "trace: %s
+"
+        (Trace.to_string (Event_sched.trace_literals r))
+    end;
+    checkb (Printf.sprintf "random workflow %d satisfied" trial)
+      r.Event_sched.satisfied;
+    let rc =
+      Central_sched.run
+        ~config:
+          { Central_sched.default_config with seed = Int64.of_int trial }
+        wf
+    in
+    checkb
+      (Printf.sprintf "random workflow %d satisfied centrally" trial)
+      rc.Event_sched.satisfied
+  done
+
+(* --- centralized baseline ------------------------------------------------- *)
+
+let run_central ?(seed = 42L) wf =
+  Central_sched.run ~config:{ Central_sched.default_config with seed } wf
+
+let test_central_travel () =
+  let r = run_central (travel_wf ()) in
+  checkb "central satisfied" r.Event_sched.satisfied;
+  checkb "central both commit" (committed r "book" && committed r "buy");
+  let r = run_central (travel_wf ~buy_fails:true ()) in
+  checkb "central failure satisfied" r.Event_sched.satisfied
+
+let test_central_seed_sweep () =
+  List.iter
+    (fun seed ->
+      let r =
+        run_central ~seed:(Int64.of_int seed)
+          (travel_wf ~buy_fails:(seed mod 2 = 1) ())
+      in
+      checkb (Printf.sprintf "central seed %d" seed) r.Event_sched.satisfied)
+    (List.init 8 (fun i -> i + 1))
+
+let test_central_pairs () =
+  List.iter
+    (fun (name, deps) ->
+      let r = run_central (pair_wf deps) in
+      checkb ("central " ^ name) r.Event_sched.satisfied)
+    [
+      ("commit order", [ ("cd", Catalog.commit_order "t1" "t2") ]);
+      ("exclusion", [ ("ex", Catalog.exclusion "t1" "t2") ]);
+      ( "order+req",
+        [
+          ("cd", Catalog.commit_order "t1" "t2");
+          ("sc", Catalog.strong_commit "t1" "t2");
+        ] );
+    ]
+
+let test_central_routes_through_center () =
+  let r = run_central (travel_wf ()) in
+  (* Every protocol message involves site 0 in the centralized design:
+     remote messages exist and no actor-to-actor chatter happens. *)
+  checkb "central uses messages"
+    (Wf_sim.Stats.count r.Event_sched.stats "messages_sent" > 0)
+
+let test_determinism () =
+  let r1 = run_dist ~seed:99L (travel_wf ()) in
+  let r2 = run_dist ~seed:99L (travel_wf ()) in
+  check
+    Alcotest.(list string)
+    "same seed, same trace"
+    (List.map Literal.to_string (Event_sched.trace_literals r1))
+    (List.map Literal.to_string (Event_sched.trace_literals r2))
+
+let suite =
+  [
+    Alcotest.test_case "travel happy path" `Quick test_travel_happy;
+    Alcotest.test_case "travel with failure" `Quick test_travel_failure;
+    Alcotest.test_case "travel across seeds" `Slow test_seed_sweep;
+    Alcotest.test_case "commit order" `Quick test_commit_order_pair;
+    Alcotest.test_case "Example 11 promises" `Quick test_mutual_eventuality;
+    Alcotest.test_case "order + requirement" `Quick test_order_and_requirement;
+    Alcotest.test_case "exclusion" `Quick test_exclusion;
+    Alcotest.test_case "abort dependency" `Quick test_abort_dependency;
+    Alcotest.test_case "serial dependency" `Quick test_serial_dependency;
+    Alcotest.test_case "two-phase commit" `Quick test_two_phase_commit;
+    Alcotest.test_case "two-phase abort" `Quick test_two_phase_abort;
+    Alcotest.test_case "random catalog workflows" `Slow
+      test_random_catalog_workflows;
+    Alcotest.test_case "latency regimes" `Slow test_latency_regimes;
+    Alcotest.test_case "closing yields maximal traces" `Quick test_trace_maximal;
+    Alcotest.test_case "central: travel" `Quick test_central_travel;
+    Alcotest.test_case "central: seeds" `Slow test_central_seed_sweep;
+    Alcotest.test_case "central: dependency pairs" `Quick test_central_pairs;
+    Alcotest.test_case "central: messages" `Quick test_central_routes_through_center;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

@@ -1,0 +1,176 @@
+(* The simulation substrate: heap, RNG, stats, and the network. *)
+
+open Wf_sim
+open Helpers
+
+let test_heap_order () =
+  let h = Heap.create () in
+  checkb "empty" (Heap.is_empty h);
+  List.iteri
+    (fun i key -> Heap.push h ~key ~seq:i "x")
+    [ 5.0; 1.0; 3.0; 1.0; 4.0 ];
+  check Alcotest.int "size" 5 (Heap.size h);
+  let keys = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (k, s, _) ->
+        keys := (k, s) :: !keys;
+        drain ()
+  in
+  drain ();
+  let sorted = List.rev !keys in
+  checkb "keys ascending"
+    (sorted = List.sort compare sorted);
+  (* Equal keys pop in sequence order (determinism). *)
+  check
+    Alcotest.(list (pair (float 0.0) int))
+    "tie break by seq"
+    [ (1.0, 1); (1.0, 3); (3.0, 2); (4.0, 4); (5.0, 0) ]
+    sorted
+
+let test_heap_interleaved () =
+  let h = Heap.create () in
+  Heap.push h ~key:2.0 ~seq:0 "a";
+  (match Heap.pop h with
+  | Some (k, _, "a") -> check (Alcotest.float 0.0) "first" 2.0 k
+  | _ -> Alcotest.fail "expected a");
+  Heap.push h ~key:1.0 ~seq:1 "b";
+  Heap.push h ~key:3.0 ~seq:2 "c";
+  (match Heap.peek h with
+  | Some (_, _, v) -> check Alcotest.string "peek min" "b" v
+  | None -> Alcotest.fail "empty");
+  check Alcotest.int "size preserved by peek" 2 (Heap.size h)
+
+let test_rng_determinism () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  check Alcotest.(list int) "same seed same stream" xs ys;
+  let c = Rng.create 8L in
+  let zs = List.init 20 (fun _ -> Rng.int c 1000) in
+  checkb "different seed differs" (xs <> zs)
+
+let test_rng_ranges () =
+  let r = Rng.create 1L in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    checkb "int in range" (x >= 0 && x < 10);
+    let f = Rng.float r 2.0 in
+    checkb "float in range" (f >= 0.0 && f < 2.0);
+    let ex = Rng.exponential r ~mean:3.0 in
+    checkb "exponential nonnegative" (ex >= 0.0)
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 2L in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential r ~mean:5.0
+  done;
+  let mean = !total /. float_of_int n in
+  checkb "mean near 5" (mean > 4.5 && mean < 5.5)
+
+let test_stats () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.add s "a" 2;
+  check Alcotest.int "counter" 3 (Stats.count s "a");
+  check Alcotest.int "missing counter" 0 (Stats.count s "b");
+  List.iter (fun x -> Stats.observe s "lat" x) [ 1.0; 2.0; 3.0; 4.0 ];
+  (match Stats.summarize s "lat" with
+  | Some sum ->
+      check Alcotest.int "n" 4 sum.Stats.n;
+      check (Alcotest.float 0.001) "mean" 2.5 sum.Stats.mean;
+      check (Alcotest.float 0.001) "min" 1.0 sum.Stats.min;
+      check (Alcotest.float 0.001) "max" 4.0 sum.Stats.max
+  | None -> Alcotest.fail "summary expected");
+  let s2 = Stats.create () in
+  Stats.incr s2 "a";
+  let merged = Stats.merge s s2 in
+  check Alcotest.int "merged counter" 4 (Stats.count merged "a")
+
+let test_netsim_delivery () =
+  let net =
+    Netsim.create ~num_sites:3
+      ~latency:(Netsim.uniform_latency ~base:1.0 ~jitter:0.0)
+      ()
+  in
+  let received = ref [] in
+  Netsim.on_receive net 1 (fun src msg -> received := (src, msg) :: !received);
+  Netsim.send net ~src:0 ~dst:1 "hello";
+  Netsim.send net ~src:2 ~dst:1 "world";
+  Netsim.run net;
+  check Alcotest.int "both delivered" 2 (List.length !received);
+  checkb "clock advanced" (Netsim.now net >= 1.0);
+  checkb "quiescent after run" (Netsim.quiescent net)
+
+let test_netsim_fifo () =
+  let net =
+    Netsim.create ~num_sites:2
+      ~latency:(Netsim.uniform_latency ~base:1.0 ~jitter:5.0)
+      ()
+  in
+  let received = ref [] in
+  Netsim.on_receive net 1 (fun _ msg -> received := msg :: !received);
+  for i = 1 to 50 do
+    Netsim.send net ~src:0 ~dst:1 i
+  done;
+  Netsim.run net;
+  check Alcotest.(list int) "FIFO per link" (List.init 50 (fun i -> i + 1))
+    (List.rev !received)
+
+let test_netsim_schedule () =
+  let net =
+    Netsim.create ~num_sites:1
+      ~latency:(Netsim.uniform_latency ~base:1.0 ~jitter:0.0)
+      ()
+  in
+  let order = ref [] in
+  Netsim.schedule net ~delay:3.0 (fun () -> order := "late" :: !order);
+  Netsim.schedule net ~delay:1.0 (fun () -> order := "early" :: !order);
+  Netsim.run net;
+  check Alcotest.(list string) "timed order" [ "early"; "late" ] (List.rev !order)
+
+let test_netsim_stats () =
+  let net =
+    Netsim.create ~num_sites:2
+      ~latency:(Netsim.uniform_latency ~base:1.0 ~jitter:0.0)
+      ()
+  in
+  Netsim.on_receive net 1 (fun _ () -> ());
+  Netsim.send net ~src:0 ~dst:1 ();
+  Netsim.send net ~src:0 ~dst:0 ();
+  Netsim.run net;
+  check Alcotest.int "sent" 2 (Stats.count (Netsim.stats net) "messages_sent");
+  check Alcotest.int "remote" 1 (Stats.count (Netsim.stats net) "messages_remote");
+  (* local handler missing: dropped *)
+  check Alcotest.int "dropped" 1
+    (Stats.count (Netsim.stats net) "messages_dropped")
+
+let suite =
+  [
+    Alcotest.test_case "heap ordering" `Quick test_heap_order;
+    Alcotest.test_case "heap interleaved" `Quick test_heap_interleaved;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "rng exponential mean" `Slow test_rng_exponential_mean;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "netsim delivery" `Quick test_netsim_delivery;
+    Alcotest.test_case "netsim FIFO under jitter" `Quick test_netsim_fifo;
+    Alcotest.test_case "netsim timed actions" `Quick test_netsim_schedule;
+    Alcotest.test_case "netsim stats" `Quick test_netsim_stats;
+    qtest ~count:50 "heap sorts arbitrary keys"
+      QCheck2.Gen.(list_size (int_bound 40) (float_bound_inclusive 100.0))
+      (fun keys ->
+        let h = Wf_sim.Heap.create () in
+        List.iteri (fun i k -> Wf_sim.Heap.push h ~key:k ~seq:i ()) keys;
+        let rec drain acc =
+          match Wf_sim.Heap.pop h with
+          | None -> List.rev acc
+          | Some (k, _, ()) -> drain (k :: acc)
+        in
+        let out = drain [] in
+        out = List.sort compare out && List.length out = List.length keys);
+  ]

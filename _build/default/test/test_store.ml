@@ -1,0 +1,120 @@
+(* The transactional store substrate. *)
+
+open Wf_store
+open Helpers
+
+let test_kv_basic () =
+  let kv = Kv.create ~name:"s" () in
+  checkb "absent" (Kv.get kv "x" = None);
+  check Alcotest.int "version 0" 0 (Kv.version_of kv "x");
+  Kv.apply kv [ ("x", Kv.Int 1) ];
+  (match Kv.get kv "x" with
+  | Some (Kv.Int 1, 1) -> ()
+  | _ -> Alcotest.fail "expected x=1 v1");
+  Kv.apply kv [ ("x", Kv.Int 2); ("y", Kv.Str "hi") ];
+  check Alcotest.int "version bumps" 2 (Kv.version_of kv "x");
+  check Alcotest.(list string) "keys sorted" [ "x"; "y" ] (Kv.keys kv)
+
+let test_txn_commit () =
+  let kv = Kv.create () in
+  Kv.apply kv [ ("n", Kv.Int 10) ];
+  let t = Txn.begin_ kv in
+  (match Txn.read t "n" with
+  | Some (Kv.Int 10) -> ()
+  | _ -> Alcotest.fail "read 10");
+  (match Txn.incr t "n" 5 with Ok 15 -> () | _ -> Alcotest.fail "incr");
+  checkb "commits" (Txn.commit t = Txn.Committed);
+  (match Kv.get kv "n" with
+  | Some (Kv.Int 15, _) -> ()
+  | _ -> Alcotest.fail "committed value visible")
+
+let test_txn_own_writes () =
+  let kv = Kv.create () in
+  let t = Txn.begin_ kv in
+  Txn.write t "a" (Kv.Int 1);
+  (match Txn.read t "a" with
+  | Some (Kv.Int 1) -> ()
+  | _ -> Alcotest.fail "reads own write");
+  checkb "store untouched before commit" (Kv.get kv "a" = None)
+
+let test_txn_conflict () =
+  let kv = Kv.create () in
+  Kv.apply kv [ ("n", Kv.Int 0) ];
+  let t1 = Txn.begin_ kv and t2 = Txn.begin_ kv in
+  ignore (Txn.incr t1 "n" 1);
+  ignore (Txn.incr t2 "n" 1);
+  checkb "first wins" (Txn.commit t1 = Txn.Committed);
+  (match Txn.commit t2 with
+  | Txn.Aborted _ -> ()
+  | Txn.Committed -> Alcotest.fail "second should conflict");
+  (match Kv.get kv "n" with
+  | Some (Kv.Int 1, _) -> ()
+  | _ -> Alcotest.fail "only one increment applied")
+
+let test_txn_abort () =
+  let kv = Kv.create () in
+  let t = Txn.begin_ kv in
+  Txn.write t "a" (Kv.Int 1);
+  (match Txn.abort t with Txn.Aborted _ -> () | _ -> Alcotest.fail "abort");
+  checkb "no effect" (Kv.get kv "a" = None);
+  (match Txn.commit t with
+  | Txn.Aborted _ -> ()
+  | _ -> Alcotest.fail "cannot commit after abort")
+
+let test_txn_read_only_no_conflict () =
+  let kv = Kv.create () in
+  Kv.apply kv [ ("n", Kv.Int 0) ];
+  let t1 = Txn.begin_ kv in
+  ignore (Txn.read t1 "n");
+  (* An unrelated key changes: no conflict for n's version. *)
+  Kv.apply kv [ ("m", Kv.Int 1) ];
+  checkb "still commits" (Txn.commit t1 = Txn.Committed)
+
+let test_txn_type_error () =
+  let kv = Kv.create () in
+  Kv.apply kv [ ("s", Kv.Str "x") ];
+  let t = Txn.begin_ kv in
+  (match Txn.incr t "s" 1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "type error expected")
+
+let test_resource () =
+  let r = Resource.airline () in
+  check Alcotest.int "capacity" 50 (Resource.available r);
+  checkb "reserve" (Resource.reserve r 3 = Ok ());
+  check Alcotest.int "after reserve" 47 (Resource.available r);
+  checkb "release" (Resource.release r 1 = Ok ());
+  check Alcotest.int "after release" 48 (Resource.available r);
+  (match Resource.reserve r 100 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "overdraw must fail");
+  check Alcotest.int "overdraw left stock intact" 48 (Resource.available r)
+
+let test_resource_exhaustion () =
+  let r = Resource.create ~store:(Kv.create ()) ~key:"k" ~capacity:2 in
+  checkb "1" (Resource.reserve r 1 = Ok ());
+  checkb "2" (Resource.reserve r 1 = Ok ());
+  checkb "3 fails" (Result.is_error (Resource.reserve r 1));
+  check Alcotest.int "empty" 0 (Resource.available r)
+
+let suite =
+  [
+    Alcotest.test_case "kv basics" `Quick test_kv_basic;
+    Alcotest.test_case "txn commit" `Quick test_txn_commit;
+    Alcotest.test_case "txn reads own writes" `Quick test_txn_own_writes;
+    Alcotest.test_case "txn write conflict" `Quick test_txn_conflict;
+    Alcotest.test_case "txn abort" `Quick test_txn_abort;
+    Alcotest.test_case "txn unrelated writes ok" `Quick test_txn_read_only_no_conflict;
+    Alcotest.test_case "txn type errors" `Quick test_txn_type_error;
+    Alcotest.test_case "resources" `Quick test_resource;
+    Alcotest.test_case "resource exhaustion" `Quick test_resource_exhaustion;
+    qtest ~count:100 "counter never negative under random ops"
+      QCheck2.Gen.(list_size (int_bound 30) (pair bool (int_range 1 3)))
+      (fun ops ->
+        let r = Resource.create ~store:(Kv.create ()) ~key:"k" ~capacity:5 in
+        List.iter
+          (fun (take, n) ->
+            ignore (if take then Resource.reserve r n else Resource.release r n))
+          ops;
+        Resource.available r >= 0);
+  ]
