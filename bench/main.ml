@@ -318,6 +318,44 @@ let bench_latency () =
         dist.Event_sched.makespan central.Event_sched.makespan)
     [ 0.1; 0.5; 1.0; 2.0; 5.0; 10.0 ]
 
+(* --- FLT: fault tolerance ----------------------------------------------------- *)
+
+let bench_faults () =
+  section "FLT"
+    "Makespan and message overhead under increasing loss (travel, N=5)";
+  Printf.printf "%6s | %9s %6s %7s | %9s %6s %7s | %s\n" "drop" "makespan"
+    "msgs" "retrans" "makespan" "msgs" "retrans" "ok";
+  Printf.printf "%6s | %25s | %25s |\n" "" "----- distributed -----"
+    "----- centralized -----";
+  List.iter
+    (fun drop_rate ->
+      let wf = travel_wf ~n:5 () in
+      let faults =
+        { Wf_sim.Netsim.no_faults with drop_rate; duplicate_rate = drop_rate /. 2.0 }
+      in
+      let dist =
+        Event_sched.run
+          ~config:{ Event_sched.default_config with faults }
+          wf
+      in
+      let central =
+        Central_sched.run
+          ~config:{ Central_sched.default_config with faults }
+          wf
+      in
+      let msgs (r : Event_sched.result) name =
+        Wf_sim.Stats.count r.Event_sched.stats name
+      in
+      Printf.printf "%6.2f | %9.1f %6d %7d | %9.1f %6d %7d | %s\n%!" drop_rate
+        dist.Event_sched.makespan (msgs dist "messages_sent")
+        (msgs dist "chan_retransmits") central.Event_sched.makespan
+        (msgs central "messages_sent")
+        (msgs central "chan_retransmits")
+        (if dist.Event_sched.satisfied && central.Event_sched.satisfied then
+           "both satisfied"
+         else "VIOLATION"))
+    [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
+
 (* --- E13/E14: parametrized scheduling --------------------------------------- *)
 
 let bench_param () =
@@ -527,6 +565,7 @@ let () =
   bench_travel ();
   bench_two_phase ();
   bench_latency ();
+  bench_faults ();
   bench_param ();
   bench_precompile ();
   bench_scalability ();

@@ -41,7 +41,34 @@ let run_parametrized seed def templates =
   Format.printf "  all scripts completed: %b@." r.Param_driver.finished;
   if r.Param_driver.finished then 0 else 1
 
-let run path scheduler seed latency jitter think verbose check_gen =
+(* "FROM:UNTIL:A/B" with comma-separated site lists, e.g. "5:20:0/1,2"
+   cuts site 0 off from sites 1 and 2 between t=5 and t=20. *)
+let parse_partition s =
+  let fail () =
+    Printf.eprintf "bad partition %S: expected FROM:UNTIL:A/B (e.g. 5:20:0/1,2)\n" s;
+    exit 2
+  in
+  let sites part =
+    try List.map int_of_string (String.split_on_char ',' part)
+    with _ -> fail ()
+  in
+  match String.split_on_char ':' s with
+  | [ from_s; until_s; groups ] -> (
+      match String.split_on_char '/' groups with
+      | [ a; b ] -> (
+          try
+            {
+              Wf_sim.Netsim.cut_from = float_of_string from_s;
+              cut_until = float_of_string until_s;
+              group_a = sites a;
+              group_b = sites b;
+            }
+          with _ -> fail ())
+      | _ -> fail ())
+  | _ -> fail ()
+
+let run path scheduler seed latency jitter think verbose check_gen drop_rate
+    duplicate_rate reorder_rate reorder_window partition_specs =
   let { Wf_lang.Elaborate.def; templates } = Wf_lang.Elaborate.load_file path in
   if templates <> [] then begin
     if def.Wf_tasks.Workflow_def.deps <> [] then
@@ -49,6 +76,16 @@ let run path scheduler seed latency jitter think verbose check_gen =
         "note: mixing ground and parametrized dependencies; running only the parametrized engine@.";
     exit (run_parametrized seed def templates)
   end;
+  let faults =
+    {
+      Wf_sim.Netsim.no_faults with
+      drop_rate;
+      duplicate_rate;
+      reorder_rate;
+      reorder_window;
+      partitions = List.map parse_partition partition_specs;
+    }
+  in
   let r =
     match scheduler with
     | "distributed" ->
@@ -61,6 +98,7 @@ let run path scheduler seed latency jitter think verbose check_gen =
               jitter;
               think_time = think;
               check_generates = check_gen;
+              faults;
             }
           def
     | "central" ->
@@ -72,6 +110,7 @@ let run path scheduler seed latency jitter think verbose check_gen =
               base_latency = latency;
               jitter;
               think_time = think;
+              faults;
             }
           def
     | s ->
@@ -95,9 +134,29 @@ let think = Arg.(value & opt float 0.5 & info [ "think" ] ~doc:"Mean agent think
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print statistics.")
 let check_gen = Arg.(value & flag & info [ "check-generates" ] ~doc:"Also check Definition 4 (exponential in alphabet).")
 
+let drop_rate =
+  Arg.(value & opt float 0.0 & info [ "drop-rate" ] ~docv:"P"
+         ~doc:"Probability that a remote message is silently dropped. The reliable channel retransmits until acknowledged.")
+
+let duplicate_rate =
+  Arg.(value & opt float 0.0 & info [ "duplicate-rate" ] ~docv:"P"
+         ~doc:"Probability that a remote message is delivered twice. Receiver-side dedup keeps handling exactly-once.")
+
+let reorder_rate =
+  Arg.(value & opt float 0.0 & info [ "reorder-rate" ] ~docv:"P"
+         ~doc:"Probability that a remote message escapes per-link FIFO and is delayed by up to $(b,--reorder-window).")
+
+let reorder_window =
+  Arg.(value & opt float 5.0 & info [ "reorder-window" ] ~docv:"T"
+         ~doc:"Maximum extra delay (virtual time) for a reordered message.")
+
+let partitions =
+  Arg.(value & opt_all string [] & info [ "partition" ] ~docv:"FROM:UNTIL:A/B"
+         ~doc:"Cut all links between site groups A and B (comma-separated site ids) during the window [FROM, UNTIL). Repeatable, e.g. $(b,--partition 5:20:0/1,2).")
+
 let cmd =
   let doc = "execute a workflow by distributed guard evaluation" in
   Cmd.v (Cmd.info "wfsim" ~doc)
-    Term.(const run $ path $ scheduler $ seed $ latency $ jitter $ think $ verbose $ check_gen)
+    Term.(const run $ path $ scheduler $ seed $ latency $ jitter $ think $ verbose $ check_gen $ drop_rate $ duplicate_rate $ reorder_rate $ reorder_window $ partitions)
 
 let () = exit (Cmd.eval' cmd)

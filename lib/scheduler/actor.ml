@@ -445,7 +445,14 @@ let note_occurred ctx t l ~seqno =
 
 let handle ctx t msg =
   match msg with
-  | Messages.Announce { lit = l; seqno } -> note_occurred ctx t l ~seqno
+  | Messages.Announce { lit = l; seqno } -> (
+      (* The channel delivers exactly once, but stay robust if a lower
+         layer ever degrades to at-least-once: re-announcements of a
+         known fate are counted and ignored. *)
+      match Knowledge.fate_of t.knowledge (Literal.symbol l) with
+      | Some (Knowledge.Occurred (pol, _)) when pol = l.Literal.pol ->
+          Wf_sim.Stats.incr ctx.stats "duplicate_announcements"
+      | _ -> note_occurred ctx t l ~seqno)
   | Messages.Promise { lit = l; _ } ->
       t.knowledge <- Knowledge.promised l t.knowledge;
       re_evaluate ctx t

@@ -7,6 +7,7 @@ type config = {
   jitter : float;
   think_time : float;
   max_steps : int;
+  faults : Wf_sim.Netsim.fault_config;
 }
 
 let default_config =
@@ -16,6 +17,7 @@ let default_config =
     jitter = 0.2;
     think_time = 0.5;
     max_steps = 2_000_000;
+    faults = Wf_sim.Netsim.no_faults;
   }
 
 type msg =
@@ -36,7 +38,8 @@ type dep_state = {
 type runtime = {
   wf : Workflow_def.t;
   cfg : config;
-  net : msg Wf_sim.Netsim.t;
+  net : msg Channel.wire Wf_sim.Netsim.t;
+  chan : msg Channel.t;
   deps : dep_state list;
   agents : (string, Agent.t) Hashtbl.t;
   agent_site : (string, int) Hashtbl.t;
@@ -131,7 +134,7 @@ let feasible rt lit =
 
 let send_to_agent rt instance m =
   let site = Hashtbl.find rt.agent_site instance in
-  Wf_sim.Netsim.send rt.net ~src:central_site ~dst:site m
+  Channel.send rt.chan ~src:central_site ~dst:site m
 
 let rec record rt lit =
   if not (decided rt (Literal.symbol lit)) then begin
@@ -232,14 +235,13 @@ let rec schedule_agent rt agent =
               Attempt (Literal.pos sym, Agent.would_make_unreachable agent sym)
             else Occurred (Literal.pos sym)
           in
-          Wf_sim.Netsim.send rt.net ~src:site ~dst:central_site m;
+          Channel.send rt.chan ~src:site ~dst:central_site m;
           if not attr.Attribute.controllable then begin
             (* Uncontrollable events take effect at the task at once. *)
             let complements = Agent.on_accepted agent sym in
             List.iter
               (fun c ->
-                Wf_sim.Netsim.send rt.net ~src:site ~dst:central_site
-                  (Occurred c))
+                Channel.send rt.chan ~src:site ~dst:central_site (Occurred c))
               complements;
             schedule_agent rt agent
           end)
@@ -250,8 +252,7 @@ let agent_handle rt agent m =
       let site = Hashtbl.find rt.agent_site (Agent.instance agent) in
       let complements = Agent.on_accepted agent (Literal.symbol lit) in
       List.iter
-        (fun c ->
-          Wf_sim.Netsim.send rt.net ~src:site ~dst:central_site (Occurred c))
+        (fun c -> Channel.send rt.chan ~src:site ~dst:central_site (Occurred c))
         complements;
       schedule_agent rt agent
   | Rejected lit ->
@@ -262,10 +263,9 @@ let agent_handle rt agent m =
       match Agent.trigger agent (Literal.symbol lit) with
       | None -> Wf_sim.Stats.incr (stats rt) "trigger_faults"
       | Some complements ->
-          Wf_sim.Netsim.send rt.net ~src:site ~dst:central_site (Occurred lit);
+          Channel.send rt.chan ~src:site ~dst:central_site (Occurred lit);
           List.iter
-            (fun c ->
-              Wf_sim.Netsim.send rt.net ~src:site ~dst:central_site (Occurred c))
+            (fun c -> Channel.send rt.chan ~src:site ~dst:central_site (Occurred c))
             complements;
           schedule_agent rt agent)
   | Attempt _ | Occurred _ -> ()
@@ -277,17 +277,23 @@ let run ?(config = default_config) wf =
   let deps_exprs = Workflow_def.dependencies wf in
   let num_sites = max 1 (Workflow_def.num_sites wf) in
   let net =
-    Wf_sim.Netsim.create ~seed:config.seed ~num_sites
+    Wf_sim.Netsim.create ~seed:config.seed ~faults:config.faults ~num_sites
       ~latency:
         (Wf_sim.Netsim.uniform_latency ~base:config.base_latency
            ~jitter:config.jitter)
       ()
+  in
+  let chan =
+    Channel.create
+      ~rto:(3.0 *. (config.base_latency +. config.jitter) +. 0.5)
+      net
   in
   let rt =
     {
       wf;
       cfg = config;
       net;
+      chan;
       deps =
         List.map
           (fun d -> { dep = d; automaton = Automaton.build d; state = 0 })
@@ -322,7 +328,7 @@ let run ?(config = default_config) wf =
   (* Message dispatch: requests are handled by the center; replies are
      routed to the owning agent by the literal they carry. *)
   for site = 0 to num_sites - 1 do
-    Wf_sim.Netsim.on_receive net site (fun _src m ->
+    Channel.on_receive rt.chan site (fun _src m ->
         match m with
         | Attempt (lit, entailed) ->
             if site = central_site then decide rt lit entailed

@@ -21,6 +21,9 @@ type config = {
   jitter : float;
   think_time : float;
   max_steps : int;
+  faults : Wf_sim.Netsim.fault_config;
+      (** network fault injection; agent/center traffic rides the
+          reliable {!Channel} (acks, retransmits, dedup) *)
 }
 
 val default_config : config

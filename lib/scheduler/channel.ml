@@ -1,0 +1,106 @@
+type site = Wf_sim.Netsim.site
+
+type 'a wire =
+  | Data of { mid : int; origin : site; payload : 'a }
+  | Ack of { mid : int }
+
+type 'a pending = {
+  p_src : site;
+  p_dst : site;
+  p_payload : 'a;
+  p_first_sent : float;
+  mutable p_tries : int;
+}
+
+type 'a t = {
+  net : 'a wire Wf_sim.Netsim.t;
+  rto : float;
+  backoff : float;
+  max_rto : float;
+  max_retries : int;
+  pending : (int, 'a pending) Hashtbl.t; (* sender side, by message id *)
+  seen : (int, unit) Hashtbl.t; (* receiver side dedup, by message id *)
+  mutable next_mid : int;
+}
+
+let default_backoff = 2.0
+
+let create ?(rto = 3.0) ?(backoff = default_backoff) ?(max_rto = 60.0)
+    ?(max_retries = 30) net =
+  {
+    net;
+    rto;
+    backoff;
+    max_rto;
+    max_retries;
+    pending = Hashtbl.create 256;
+    seen = Hashtbl.create 256;
+    next_mid = 0;
+  }
+
+let net t = t.net
+let stats t = Wf_sim.Netsim.stats t.net
+let unacked t = Hashtbl.length t.pending
+
+let rto_after t tries =
+  Float.min t.max_rto (t.rto *. (t.backoff ** float_of_int tries))
+
+let rec retransmit t mid () =
+  match Hashtbl.find_opt t.pending mid with
+  | None -> () (* acked meanwhile *)
+  | Some p ->
+      if p.p_tries >= t.max_retries then begin
+        Hashtbl.remove t.pending mid;
+        Wf_sim.Stats.incr (stats t) "chan_gave_up"
+      end
+      else begin
+        p.p_tries <- p.p_tries + 1;
+        Wf_sim.Stats.incr (stats t) "chan_retransmits";
+        Wf_sim.Netsim.send t.net ~src:p.p_src ~dst:p.p_dst
+          (Data { mid; origin = p.p_src; payload = p.p_payload });
+        Wf_sim.Netsim.schedule t.net ~delay:(rto_after t p.p_tries)
+          (retransmit t mid)
+      end
+
+let send t ~src ~dst payload =
+  let mid = t.next_mid in
+  t.next_mid <- mid + 1;
+  if src = dst then
+    (* Same-site messages never fault: skip the ack machinery. *)
+    Wf_sim.Netsim.send t.net ~src ~dst (Data { mid; origin = src; payload })
+  else begin
+    Hashtbl.replace t.pending mid
+      {
+        p_src = src;
+        p_dst = dst;
+        p_payload = payload;
+        p_first_sent = Wf_sim.Netsim.now t.net;
+        p_tries = 0;
+      };
+    Wf_sim.Netsim.send t.net ~src ~dst (Data { mid; origin = src; payload });
+    Wf_sim.Netsim.schedule t.net ~delay:(rto_after t 0) (retransmit t mid)
+  end
+
+let on_receive t site handler =
+  Wf_sim.Netsim.on_receive t.net site (fun src wire ->
+      match wire with
+      | Data { mid; origin; payload } ->
+          (* Ack every copy: the previous ack may itself have been
+             lost.  Deliver to the handler at most once. *)
+          if origin <> site then begin
+            Wf_sim.Stats.incr (stats t) "chan_acks";
+            Wf_sim.Netsim.send t.net ~src:site ~dst:origin (Ack { mid })
+          end;
+          if Hashtbl.mem t.seen mid then
+            Wf_sim.Stats.incr (stats t) "chan_duplicates_suppressed"
+          else begin
+            Hashtbl.replace t.seen mid ();
+            handler src payload
+          end
+      | Ack { mid } -> (
+          match Hashtbl.find_opt t.pending mid with
+          | None -> () (* duplicate ack *)
+          | Some p ->
+              Hashtbl.remove t.pending mid;
+              Wf_sim.Stats.observe (stats t) "ack_latency"
+                (Wf_sim.Netsim.now t.net -. p.p_first_sent)))

@@ -1,0 +1,61 @@
+(** Reliable, exactly-once delivery over the (possibly faulty) network.
+
+    {!Wf_sim.Netsim} with a {!Wf_sim.Netsim.fault_config} may drop,
+    duplicate, or reorder messages, yet the schedulers' protocol
+    messages ([Announce], [Promise], [Reserve], ...) must each take
+    effect exactly once, or guard knowledge diverges across actors.
+    This module layers the classic recipe on top of the raw network:
+
+    - every logical message carries a globally unique id;
+    - the receiver acknowledges {e every} Data copy (acks are lossy
+      too) but hands the payload to the application at most once,
+      suppressing duplicates by id;
+    - the sender retransmits unacknowledged messages with exponential
+      backoff ([rto], [rto·backoff], [rto·backoff²], ..., capped at
+      [max_rto]) up to [max_retries] times, then gives up (counted as
+      ["chan_gave_up"] — with bounded partitions and the default cap
+      this is vanishingly rare).
+
+    Same-site messages bypass the machinery entirely: the simulator
+    never faults them.
+
+    All timers run on the network's virtual clock and all randomness is
+    the network's, so reliable delivery over a faulty network remains
+    deterministic and replayable from [(seed, fault_config)].
+
+    Counters in the network's {!Wf_sim.Stats.t}: ["chan_retransmits"],
+    ["chan_duplicates_suppressed"], ["chan_acks"], ["chan_gave_up"];
+    series ["ack_latency"] (first send to ack). *)
+
+type site = Wf_sim.Netsim.site
+
+type 'a wire =
+  | Data of { mid : int; origin : site; payload : 'a }
+  | Ack of { mid : int }
+
+type 'a t
+
+val create :
+  ?rto:float ->
+  ?backoff:float ->
+  ?max_rto:float ->
+  ?max_retries:int ->
+  'a wire Wf_sim.Netsim.t ->
+  'a t
+(** One channel manager serves every site of the given network.
+    [rto] is the initial retransmission timeout (default 3.0). *)
+
+val send : 'a t -> src:site -> dst:site -> 'a -> unit
+(** Send with at-least-once retransmission; combined with receiver-side
+    dedup the payload is processed exactly once (unless given up). *)
+
+val on_receive : 'a t -> site -> (site -> 'a -> unit) -> unit
+(** Install the application handler of a site.  The handler sees each
+    payload at most once, with the sending site as first argument. *)
+
+val net : 'a t -> 'a wire Wf_sim.Netsim.t
+val stats : 'a t -> Wf_sim.Stats.t
+
+val unacked : 'a t -> int
+(** Messages still awaiting acknowledgement (in flight or being
+    retransmitted). *)

@@ -8,6 +8,7 @@ type config = {
   think_time : float;
   max_steps : int;
   check_generates : bool;
+  faults : Wf_sim.Netsim.fault_config;
   on_event : occurrence -> unit;
 }
 
@@ -21,6 +22,7 @@ let default_config =
     think_time = 0.5;
     max_steps = 2_000_000;
     check_generates = false;
+    faults = Wf_sim.Netsim.no_faults;
     on_event = (fun _ -> ());
   }
 
@@ -37,7 +39,8 @@ type result = {
 type runtime = {
   wf : Workflow_def.t;
   cfg : config;
-  net : (Symbol.t * Messages.t) Wf_sim.Netsim.t;
+  net : (Symbol.t * Messages.t) Channel.wire Wf_sim.Netsim.t;
+  chan : (Symbol.t * Messages.t) Channel.t;
   compiled : Compile.t;
   actors : (Symbol.t, Actor.t) Hashtbl.t;
   agents : (string, Agent.t) Hashtbl.t;
@@ -68,8 +71,7 @@ let rec ctx_for rt (actor : Actor.t) : Actor.ctx =
     Actor.send =
       (fun dst msg ->
         let dst_site = Actor.site (actor_of rt dst) in
-        Wf_sim.Netsim.send rt.net ~src:(Actor.site actor) ~dst:dst_site
-          (dst, msg);
+        Channel.send rt.chan ~src:(Actor.site actor) ~dst:dst_site (dst, msg);
         Wf_sim.Stats.incr (stats rt) ("msg_" ^ Messages.label msg));
     Actor.fire = (fun lit -> fire rt lit);
     Actor.reject = (fun lit -> reject rt lit);
@@ -115,7 +117,7 @@ and fire rt lit =
       (fun watcher_sym ->
         if not (Symbol.equal watcher_sym sym) then begin
           let dst_site = Actor.site (actor_of rt watcher_sym) in
-          Wf_sim.Netsim.send rt.net ~src:(Actor.site actor) ~dst:dst_site
+          Channel.send rt.chan ~src:(Actor.site actor) ~dst:dst_site
             (watcher_sym, Messages.Announce { lit; seqno });
           Wf_sim.Stats.incr (stats rt) "msg_announce"
         end)
@@ -189,16 +191,22 @@ let build cfg wf =
   let compiled = Compile.compile deps in
   let num_sites = Workflow_def.num_sites wf in
   let net =
-    Wf_sim.Netsim.create ~seed:cfg.seed ~num_sites
+    Wf_sim.Netsim.create ~seed:cfg.seed ~faults:cfg.faults ~num_sites
       ~latency:
         (Wf_sim.Netsim.uniform_latency ~base:cfg.base_latency ~jitter:cfg.jitter)
       ()
+  in
+  (* Retransmission timeout: generously above one round trip, so the
+     fault-free fast path rarely fires a retransmit. *)
+  let chan =
+    Channel.create ~rto:(3.0 *. (cfg.base_latency +. cfg.jitter) +. 0.5) net
   in
   let rt =
     {
       wf;
       cfg;
       net;
+      chan;
       compiled;
       actors = Hashtbl.create 64;
       agents = Hashtbl.create 16;
@@ -319,9 +327,11 @@ let build cfg wf =
               (Symbol.Set.add sym current))
         watch)
     symbols;
-  (* Site message dispatch. *)
+  (* Site message dispatch, behind the reliable channel: each protocol
+     message is handled exactly once even when the network drops,
+     duplicates, or reorders the wire traffic. *)
   for site = 0 to num_sites - 1 do
-    Wf_sim.Netsim.on_receive net site (fun _src (target, msg) ->
+    Channel.on_receive rt.chan site (fun _src (target, msg) ->
         let actor = actor_of rt target in
         Actor.handle (ctx_for rt actor) actor msg)
   done;

@@ -24,6 +24,10 @@ type config = {
   check_generates : bool;
       (** also verify Definition 4 w.r.t. the synthesized guards
           (exponential in alphabet; keep off for large workflows) *)
+  faults : Wf_sim.Netsim.fault_config;
+      (** network fault injection (drops, duplication, reordering,
+          partitions, site pauses); protocol messages ride the reliable
+          {!Channel}, so correctness survives any bounded fault load *)
   on_event : occurrence -> unit;
       (** invoked at each occurrence, in order — the hook by which task
           effects (e.g. store updates) attach to significant events *)

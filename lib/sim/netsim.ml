@@ -2,6 +2,34 @@ type site = int
 
 type latency = { base : float; jitter : float }
 
+type partition = {
+  cut_from : float;
+  cut_until : float;
+  group_a : site list;
+  group_b : site list;
+}
+
+type pause = { paused_site : site; pause_from : float; pause_until : float }
+
+type fault_config = {
+  drop_rate : float;
+  duplicate_rate : float;
+  reorder_rate : float;
+  reorder_window : float;
+  partitions : partition list;
+  pauses : pause list;
+}
+
+let no_faults =
+  {
+    drop_rate = 0.0;
+    duplicate_rate = 0.0;
+    reorder_rate = 0.0;
+    reorder_window = 0.0;
+    partitions = [];
+    pauses = [];
+  }
+
 type 'msg event =
   | Deliver of { src : site; dst : site; payload : 'msg }
   | Action of (unit -> unit)
@@ -9,11 +37,14 @@ type 'msg event =
 type 'msg t = {
   num_sites : int;
   latency : site -> site -> latency;
+  faults : fault_config;
   rng : Rng.t;
   stats : Stats.t;
   queue : 'msg event Heap.t;
   handlers : (site -> 'msg -> unit) option array;
   last_delivery : (site * site, float) Hashtbl.t;
+  paused : bool array;
+  stalled : 'msg event list array; (* newest first, per paused site *)
   mutable clock : float;
   mutable seq : int;
 }
@@ -21,18 +52,45 @@ type 'msg t = {
 let uniform_latency ~base ~jitter src dst =
   if src = dst then { base = 0.001; jitter = 0.0 } else { base; jitter }
 
-let create ?(seed = 42L) ~num_sites ~latency () =
-  {
-    num_sites;
-    latency;
-    rng = Rng.create seed;
-    stats = Stats.create ();
-    queue = Heap.create ();
-    handlers = Array.make num_sites None;
-    last_delivery = Hashtbl.create 64;
-    clock = 0.0;
-    seq = 0;
-  }
+let next_seq t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+let create ?(seed = 42L) ?(faults = no_faults) ~num_sites ~latency () =
+  let t =
+    {
+      num_sites;
+      latency;
+      faults;
+      rng = Rng.create seed;
+      stats = Stats.create ();
+      queue = Heap.create ();
+      handlers = Array.make num_sites None;
+      last_delivery = Hashtbl.create 64;
+      paused = Array.make num_sites false;
+      stalled = Array.make num_sites [];
+      clock = 0.0;
+      seq = 0;
+    }
+  in
+  (* Configured pause windows become timed pause/resume actions. *)
+  List.iter
+    (fun { paused_site; pause_from; pause_until } ->
+      if paused_site < 0 || paused_site >= num_sites then
+        invalid_arg "Netsim.create: pause site out of range";
+      Heap.push t.queue ~key:pause_from ~seq:(next_seq t)
+        (Action (fun () -> t.paused.(paused_site) <- true));
+      Heap.push t.queue ~key:pause_until ~seq:(next_seq t)
+        (Action
+           (fun () ->
+             t.paused.(paused_site) <- false;
+             let backlog = List.rev t.stalled.(paused_site) in
+             t.stalled.(paused_site) <- [];
+             List.iter
+               (fun ev -> Heap.push t.queue ~key:t.clock ~seq:(next_seq t) ev)
+               backlog)))
+    faults.pauses;
+  t
 
 let now t = t.clock
 let stats t = t.stats
@@ -43,34 +101,87 @@ let on_receive t site handler =
     invalid_arg "Netsim.on_receive: bad site";
   t.handlers.(site) <- Some handler
 
-let next_seq t =
-  t.seq <- t.seq + 1;
-  t.seq
+let pause_site t site =
+  if site < 0 || site >= t.num_sites then invalid_arg "Netsim.pause_site";
+  t.paused.(site) <- true
 
-let send t ~src ~dst payload =
+let resume_site t site =
+  if site < 0 || site >= t.num_sites then invalid_arg "Netsim.resume_site";
+  t.paused.(site) <- false;
+  let backlog = List.rev t.stalled.(site) in
+  t.stalled.(site) <- [];
+  List.iter (fun ev -> Heap.push t.queue ~key:t.clock ~seq:(next_seq t) ev) backlog
+
+let site_paused t site = t.paused.(site)
+
+(* Is the (src, dst) link severed by some partition window at the
+   current virtual time?  Partitions cut both directions between the two
+   groups. *)
+let partitioned t src dst =
+  List.exists
+    (fun { cut_from; cut_until; group_a; group_b } ->
+      t.clock >= cut_from && t.clock < cut_until
+      && ((List.mem src group_a && List.mem dst group_b)
+         || (List.mem src group_b && List.mem dst group_a)))
+    t.faults.partitions
+
+let enqueue_delivery t ~src ~dst payload =
   let { base; jitter } = t.latency src dst in
   let delay =
     base +. (if jitter > 0.0 then Rng.exponential t.rng ~mean:jitter else 0.0)
   in
+  let fc = t.faults in
+  let reordered =
+    src <> dst && fc.reorder_rate > 0.0 && Rng.float t.rng 1.0 < fc.reorder_rate
+  in
+  let delay =
+    if reordered then begin
+      Stats.incr t.stats "net_reordered";
+      delay +. Rng.float t.rng fc.reorder_window
+    end
+    else delay
+  in
   let arrival = t.clock +. delay in
-  (* FIFO per link: never deliver before a previously sent message. *)
+  (* FIFO per link for normal traffic; a reordered message escapes the
+     clamp (and does not tighten it for its successors), which is
+     exactly the bounded out-of-order delivery being modelled. *)
   let key = (src, dst) in
   let arrival =
-    match Hashtbl.find_opt t.last_delivery key with
-    | Some last when last >= arrival -> last +. 1e-9
-    | _ -> arrival
+    if reordered then arrival
+    else
+      match Hashtbl.find_opt t.last_delivery key with
+      | Some last when last >= arrival -> last +. 1e-9
+      | _ -> arrival
   in
-  Hashtbl.replace t.last_delivery key arrival;
-  Stats.incr t.stats "messages_sent";
+  if not reordered then Hashtbl.replace t.last_delivery key arrival;
   Stats.incr t.stats (Printf.sprintf "site_recv_%d" dst);
-  if src <> dst then Stats.incr t.stats "messages_remote";
   Stats.observe t.stats "message_latency" (arrival -. t.clock);
   Heap.push t.queue ~key:arrival ~seq:(next_seq t) (Deliver { src; dst; payload })
+
+let send t ~src ~dst payload =
+  Stats.incr t.stats "messages_sent";
+  if src <> dst then Stats.incr t.stats "messages_remote";
+  let fc = t.faults in
+  if src <> dst && partitioned t src dst then
+    Stats.incr t.stats "net_partition_drops"
+  else if src <> dst && fc.drop_rate > 0.0 && Rng.float t.rng 1.0 < fc.drop_rate
+  then Stats.incr t.stats "net_drops"
+  else begin
+    enqueue_delivery t ~src ~dst payload;
+    if
+      src <> dst && fc.duplicate_rate > 0.0
+      && Rng.float t.rng 1.0 < fc.duplicate_rate
+    then begin
+      Stats.incr t.stats "net_duplicates";
+      enqueue_delivery t ~src ~dst payload
+    end
+  end
 
 let schedule t ~delay action =
   Heap.push t.queue ~key:(t.clock +. delay) ~seq:(next_seq t) (Action action)
 
-let quiescent t = Heap.is_empty t.queue
+let quiescent t =
+  Heap.is_empty t.queue && Array.for_all (fun q -> q = []) t.stalled
 
 let run ?(until = infinity) ?(max_steps = max_int) t =
   let steps = ref 0 in
@@ -87,9 +198,16 @@ let run ?(until = infinity) ?(max_steps = max_int) t =
             incr steps;
             match event with
             | Action f -> f ()
-            | Deliver { src; dst; payload } -> (
-                Stats.incr t.stats "messages_delivered";
-                match t.handlers.(dst) with
-                | Some h -> h src payload
-                | None -> Stats.incr t.stats "messages_dropped")))
+            | Deliver { src; dst; payload } ->
+                if t.paused.(dst) then begin
+                  Stats.incr t.stats "net_stalled";
+                  t.stalled.(dst) <-
+                    Deliver { src; dst; payload } :: t.stalled.(dst)
+                end
+                else begin
+                  Stats.incr t.stats "messages_delivered";
+                  match t.handlers.(dst) with
+                  | Some h -> h src payload
+                  | None -> Stats.incr t.stats "messages_dropped"
+                end))
   done

@@ -8,7 +8,22 @@
     link is FIFO.  Local work can be scheduled as timed callbacks.
 
     The simulator assigns every delivery a deterministic total order
-    (virtual time, then sequence number), making runs reproducible. *)
+    (virtual time, then sequence number), making runs reproducible.
+
+    {2 Fault injection}
+
+    A {!fault_config} turns the perfect network into an unreliable one:
+    per-message drop and duplication on remote links, bounded reordering
+    (a reordered message picks up extra delay and escapes the per-link
+    FIFO clamp), link partitions over virtual-time windows (messages
+    sent across a severed link are silently lost), and site pauses
+    (deliveries to a paused site stall and flush on resume).  All fault
+    randomness flows from the simulator's seeded {!Rng}, so a faulty run
+    is replayable from [(seed, fault_config)] alone.  Same-site messages
+    are never dropped, duplicated, or reordered.
+
+    Fault counters land in {!stats}: ["net_drops"], ["net_duplicates"],
+    ["net_reordered"], ["net_partition_drops"], ["net_stalled"]. *)
 
 type site = int
 
@@ -16,8 +31,36 @@ type 'msg t
 
 type latency = { base : float; jitter : float }
 
+type partition = {
+  cut_from : float;  (** window start, virtual time *)
+  cut_until : float;  (** window end (exclusive) *)
+  group_a : site list;
+  group_b : site list;  (** both directions between the groups are cut *)
+}
+
+type pause = { paused_site : site; pause_from : float; pause_until : float }
+
+type fault_config = {
+  drop_rate : float;  (** per-message loss probability on remote links *)
+  duplicate_rate : float;  (** per-message duplication probability *)
+  reorder_rate : float;  (** probability a message is delayed out of order *)
+  reorder_window : float;  (** max extra delay of a reordered message *)
+  partitions : partition list;
+  pauses : pause list;  (** timed site pauses (see {!pause_site}) *)
+}
+
+val no_faults : fault_config
+(** All rates zero, no partitions, no pauses: the perfect network.
+    A network created with [no_faults] consumes the random stream
+    exactly as the pre-fault simulator did. *)
+
 val create :
-  ?seed:int64 -> num_sites:int -> latency:(site -> site -> latency) -> unit -> 'msg t
+  ?seed:int64 ->
+  ?faults:fault_config ->
+  num_sites:int ->
+  latency:(site -> site -> latency) ->
+  unit ->
+  'msg t
 
 val uniform_latency : base:float -> jitter:float -> site -> site -> latency
 
@@ -32,12 +75,24 @@ val on_receive : 'msg t -> site -> (site -> 'msg -> unit) -> unit
 val send : 'msg t -> src:site -> dst:site -> 'msg -> unit
 (** Enqueue a message; it is delivered after the link latency, in FIFO
     order per (src, dst) pair.  Messages to the own site are delivered
-    with negligible local latency. *)
+    with negligible local latency.  Under a {!fault_config} the message
+    may be dropped, duplicated, or reordered; across a severed partition
+    it is always lost. *)
 
 val schedule : 'msg t -> delay:float -> (unit -> unit) -> unit
-(** Run a local action after a virtual delay. *)
+(** Run a local action after a virtual delay.  Timed actions are not
+    subject to faults (they model local computation, not messages). *)
+
+val pause_site : 'msg t -> site -> unit
+(** Stop delivering to the site; arriving messages stall in order. *)
+
+val resume_site : 'msg t -> site -> unit
+(** Deliver the stalled backlog (in arrival order) and resume. *)
+
+val site_paused : 'msg t -> site -> bool
 
 val run : ?until:float -> ?max_steps:int -> 'msg t -> unit
 (** Process events until the queue drains (or limits are hit). *)
 
 val quiescent : 'msg t -> bool
+(** No pending events and no stalled deliveries. *)

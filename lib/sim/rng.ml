@@ -18,7 +18,16 @@ let float t bound =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+  (* Rejection sampling: draw 63 uniform bits and reject draws at or
+     above the largest multiple of [bound], so [rem] carries no modulo
+     bias.  The rejection probability is < bound / 2^63. *)
+  let b = Int64.of_int bound in
+  let limit = Int64.mul (Int64.div Int64.max_int b) b in
+  let rec draw () =
+    let x = Int64.shift_right_logical (next_int64 t) 1 in
+    if x < limit then Int64.to_int (Int64.rem x b) else draw ()
+  in
+  draw ()
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 

@@ -12,7 +12,8 @@ val float : t -> float -> float
 (** [float t bound] is uniform in [0, bound). *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [0, bound); [bound > 0]. *)
+(** [int t bound] is uniform in [0, bound); [bound > 0].  Uses rejection
+    sampling, so the distribution is exactly uniform (no modulo bias). *)
 
 val bool : t -> bool
 val exponential : t -> mean:float -> float

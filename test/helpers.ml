@@ -36,7 +36,10 @@ let gen_literal : Literal.t QCheck2.Gen.t =
     QCheck2.Gen.bool
 
 (* Random expressions biased toward the shapes dependencies take:
-   sums of short sequences, occasional conjunctions. *)
+   sums of short sequences, occasional conjunctions.  QCheck2 generators
+   carry integrated shrinking, so a failing expression automatically
+   shrinks toward a minimal counterexample (smaller size, then smaller
+   subterms) — no hand-written shrinker needed. *)
 let gen_expr : Expr.t QCheck2.Gen.t =
   let open QCheck2.Gen in
   sized_size (int_bound 8)
@@ -52,6 +55,9 @@ let gen_expr : Expr.t QCheck2.Gen.t =
                (1, map2 Expr.conj (self (n / 2)) (self (n / 2)));
              ])
 
+let gen_expr_pair = QCheck2.Gen.pair gen_expr gen_expr
+let gen_expr_triple = QCheck2.Gen.triple gen_expr gen_expr gen_expr
+
 let gen_trace_over alphabet : Trace.t QCheck2.Gen.t =
   QCheck2.Gen.oneofl (Universe.traces alphabet)
 
@@ -60,3 +66,17 @@ let gen_maximal_trace alphabet : Trace.t QCheck2.Gen.t =
 
 let qtest ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Deterministic property runner: the pinned seed (overridable through
+   QCHECK_SEED, as in CI) makes every run replay the same cases, while
+   failures still shrink through QCheck2's integrated shrinking. *)
+let prop_seed () =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> ( try int_of_string s with _ -> 0xC0FFEE)
+  | None -> 0xC0FFEE
+
+let qprop ?(count = 200) name gen prop =
+  Alcotest.test_case name `Quick (fun () ->
+      QCheck2.Test.check_exn
+        ~rand:(Random.State.make [| prop_seed () |])
+        (QCheck2.Test.make ~count ~name gen prop))

@@ -1,0 +1,165 @@
+(* The reliable-delivery channel: exactly-once handling over a network
+   that drops, duplicates, reorders, partitions, and pauses. *)
+
+open Wf_sim
+open Wf_scheduler
+open Helpers
+
+let make_net ?(num_sites = 2) ?(seed = 42L) ?(faults = Netsim.no_faults) () =
+  Netsim.create ~seed ~faults ~num_sites
+    ~latency:(Netsim.uniform_latency ~base:1.0 ~jitter:0.5)
+    ()
+
+(* Send [n] distinct messages 0..n-1 from site 0 to site 1 and return
+   what site 1's handler saw, in order. *)
+let collect ?(n = 100) ?(rto = 4.0) ?faults ?seed () =
+  let net = make_net ?seed ?faults () in
+  let chan = Channel.create ~rto net in
+  let received = ref [] in
+  Channel.on_receive chan 1 (fun _src i -> received := i :: !received);
+  Channel.on_receive chan 0 (fun _ _ -> ());
+  for i = 0 to n - 1 do
+    Channel.send chan ~src:0 ~dst:1 i
+  done;
+  Netsim.run net;
+  (net, chan, List.rev !received)
+
+let exactly_once name received n =
+  check Alcotest.int (name ^ ": count") n (List.length received);
+  check
+    Alcotest.(list int)
+    (name ^ ": each exactly once")
+    (List.init n (fun i -> i))
+    (List.sort compare received)
+
+let test_clean_network () =
+  (* rto far above any plausible jittered round trip: the fast path must
+     not retransmit. *)
+  let net, chan, received = collect ~rto:20.0 () in
+  exactly_once "clean" received 100;
+  check Alcotest.int "nothing pending" 0 (Channel.unacked chan);
+  check Alcotest.int "no retransmits on a clean link" 0
+    (Stats.count (Netsim.stats net) "chan_retransmits")
+
+let test_lossy_network () =
+  let faults = { Netsim.no_faults with drop_rate = 0.3 } in
+  let net, chan, received = collect ~faults () in
+  exactly_once "lossy" received 100;
+  check Alcotest.int "nothing pending" 0 (Channel.unacked chan);
+  checkb "drops happened" (Stats.count (Netsim.stats net) "net_drops" > 0);
+  checkb "retransmits happened"
+    (Stats.count (Netsim.stats net) "chan_retransmits" > 0);
+  checkb "nothing given up" (Stats.count (Netsim.stats net) "chan_gave_up" = 0)
+
+let test_duplicating_network () =
+  let faults = { Netsim.no_faults with duplicate_rate = 0.5 } in
+  let net, _, received = collect ~faults () in
+  exactly_once "duplicating" received 100;
+  checkb "network duplicated"
+    (Stats.count (Netsim.stats net) "net_duplicates" > 0);
+  checkb "duplicates suppressed"
+    (Stats.count (Netsim.stats net) "chan_duplicates_suppressed" > 0)
+
+let test_chaotic_network () =
+  (* Everything at once, still exactly-once. *)
+  let faults =
+    {
+      Netsim.no_faults with
+      drop_rate = 0.2;
+      duplicate_rate = 0.2;
+      reorder_rate = 0.3;
+      reorder_window = 10.0;
+    }
+  in
+  List.iter
+    (fun seed ->
+      let _, chan, received = collect ~faults ~seed () in
+      exactly_once (Printf.sprintf "chaos seed %Ld" seed) received 100;
+      check Alcotest.int "nothing pending" 0 (Channel.unacked chan))
+    [ 1L; 2L; 3L; 4L; 5L ]
+
+let test_partition_window () =
+  (* Messages sent during the partition are lost on the wire but arrive
+     once the window closes, via retransmission. *)
+  let faults =
+    {
+      Netsim.no_faults with
+      partitions =
+        [
+          {
+            Netsim.cut_from = 0.0;
+            cut_until = 50.0;
+            group_a = [ 0 ];
+            group_b = [ 1 ];
+          };
+        ];
+    }
+  in
+  let net, _, received = collect ~n:20 ~faults () in
+  exactly_once "partition" received 20;
+  checkb "partition cut traffic"
+    (Stats.count (Netsim.stats net) "net_partition_drops" > 0);
+  checkb "deliveries happened after the window" (Netsim.now net >= 50.0)
+
+let test_pause_resume () =
+  let net = make_net () in
+  let chan = Channel.create ~rto:4.0 net in
+  let received = ref [] in
+  Channel.on_receive chan 1 (fun _ i -> received := i :: !received);
+  Channel.on_receive chan 0 (fun _ _ -> ());
+  Netsim.pause_site net 1;
+  for i = 0 to 9 do
+    Channel.send chan ~src:0 ~dst:1 i
+  done;
+  Netsim.schedule net ~delay:30.0 (fun () -> Netsim.resume_site net 1);
+  Netsim.run net;
+  exactly_once "pause/resume" (List.rev !received) 10;
+  checkb "deliveries stalled" (Stats.count (Netsim.stats net) "net_stalled" > 0)
+
+let test_ack_latency_observed () =
+  let net, _, _ = collect ~n:10 () in
+  match Stats.summarize (Netsim.stats net) "ack_latency" with
+  | Some s ->
+      check Alcotest.int "one sample per message" 10 s.Stats.n;
+      checkb "ack latency covers a round trip" (s.Stats.min >= 2.0)
+  | None -> Alcotest.fail "expected ack_latency series"
+
+let test_retry_cap () =
+  (* A link severed forever: the sender must give up after the cap, not
+     spin. *)
+  let faults =
+    {
+      Netsim.no_faults with
+      partitions =
+        [
+          {
+            Netsim.cut_from = 0.0;
+            cut_until = infinity;
+            group_a = [ 0 ];
+            group_b = [ 1 ];
+          };
+        ];
+    }
+  in
+  let net = make_net ~faults () in
+  let chan = Channel.create ~rto:1.0 ~max_rto:2.0 ~max_retries:5 net in
+  Channel.on_receive chan 1 (fun _ _ -> Alcotest.fail "must never deliver");
+  Channel.send chan ~src:0 ~dst:1 "doomed";
+  Netsim.run net;
+  check Alcotest.int "gave up once" 1
+    (Stats.count (Netsim.stats net) "chan_gave_up");
+  check Alcotest.int "retried exactly max_retries times" 5
+    (Stats.count (Netsim.stats net) "chan_retransmits");
+  check Alcotest.int "nothing pending" 0 (Channel.unacked chan)
+
+let suite =
+  [
+    Alcotest.test_case "clean network" `Quick test_clean_network;
+    Alcotest.test_case "30% loss" `Quick test_lossy_network;
+    Alcotest.test_case "50% duplication" `Quick test_duplicating_network;
+    Alcotest.test_case "loss+dup+reorder chaos" `Quick test_chaotic_network;
+    Alcotest.test_case "timed partition" `Quick test_partition_window;
+    Alcotest.test_case "site pause/resume" `Quick test_pause_resume;
+    Alcotest.test_case "ack latency series" `Quick test_ack_latency_observed;
+    Alcotest.test_case "retry cap on a dead link" `Quick test_retry_cap;
+  ]

@@ -1,0 +1,196 @@
+(* Differential conformance: for every spec in specs/*.wf and a sweep of
+   seeds, the distributed event-centric scheduler and the centralized
+   baseline must both terminate with every dependency satisfied — on the
+   perfect network and under heavy fault injection (drops, duplication,
+   reordering, a timed partition).  Satisfaction is checked against the
+   model-theoretic semantics directly ([Semantics.denotation]), not the
+   schedulers' own verdict alone. *)
+
+open Wf_core
+open Wf_scheduler
+open Helpers
+
+(* The dune test stanza copies specs/*.wf next to the test tree; resolve
+   them relative to the executable so both `dune runtest` and
+   `dune exec test/test_main.exe` find them. *)
+let spec_dir =
+  let candidates =
+    [
+      Filename.concat (Filename.dirname Sys.executable_name) "../specs";
+      "../specs";
+      "specs";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some d -> d
+  | None -> "../specs"
+
+let spec_files () =
+  Sys.readdir spec_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".wf")
+  |> List.sort compare
+  |> List.map (Filename.concat spec_dir)
+
+(* The fault load of the acceptance criteria: 20% loss, 10% duplication,
+   bounded reordering, and one partition window isolating site 0 early
+   in the run. *)
+let fault_load =
+  {
+    Wf_sim.Netsim.no_faults with
+    drop_rate = 0.2;
+    duplicate_rate = 0.1;
+    reorder_rate = 0.1;
+    reorder_window = 4.0;
+    partitions =
+      [
+        {
+          Wf_sim.Netsim.cut_from = 5.0;
+          cut_until = 20.0;
+          group_a = [ 0 ];
+          group_b = [ 1; 2 ];
+        };
+      ];
+  }
+
+(* [u ⊨ d] via the denotation: the projection of the realized trace onto
+   the dependency's own symbols must be one of [⟦d⟧]'s traces. *)
+let satisfied_by_denotation dep trace =
+  let alpha = Expr.symbols dep in
+  let proj =
+    List.filter (fun l -> Symbol.Set.mem (Literal.symbol l) alpha) trace
+  in
+  List.exists (Trace.equal proj) (Semantics.denotation alpha dep)
+
+let run_one ~sched ~faults ~seed wf =
+  match sched with
+  | `Distributed ->
+      Event_sched.run
+        ~config:{ Event_sched.default_config with seed; faults }
+        wf
+  | `Central ->
+      Central_sched.run
+        ~config:{ Central_sched.default_config with seed; faults }
+        wf
+
+let sched_name = function `Distributed -> "dist" | `Central -> "central"
+
+(* A parametrized spec (templates present) is scheduled by the
+   parametrized engine, not the ground schedulers: sweep it through
+   [Param_driver] and require completion. *)
+let param_sweep ~label path def templates =
+  for seed = 1 to 20 do
+    let r =
+      Param_driver.run ~seed:(Int64.of_int seed)
+        ~templates:(List.map snd templates)
+        def
+    in
+    let name =
+      Printf.sprintf "%s %s param seed %d" label (Filename.basename path) seed
+    in
+    checkb (name ^ ": finished") r.Param_driver.finished;
+    checkb (name ^ ": nothing parked") (r.Param_driver.parked_final = [])
+  done
+
+let conformance_sweep ~faults ~label () =
+  List.iter
+    (fun path ->
+      let { Wf_lang.Elaborate.def; templates } =
+        Wf_lang.Elaborate.load_file path
+      in
+      if templates <> [] then param_sweep ~label path def templates
+      else
+        let deps = Wf_tasks.Workflow_def.dependencies def in
+        List.iter
+          (fun sched ->
+            for seed = 1 to 20 do
+              let r = run_one ~sched ~faults ~seed:(Int64.of_int seed) def in
+              let name =
+                Printf.sprintf "%s %s %s seed %d" label
+                  (Filename.basename path) (sched_name sched) seed
+              in
+              checkb (name ^ ": satisfied") r.Event_sched.satisfied;
+              let trace = Event_sched.trace_literals r in
+              checkb (name ^ ": well-formed trace") (Trace.well_formed trace);
+              List.iter
+                (fun dep ->
+                  checkb
+                    (name ^ ": denotation of " ^ Expr.to_string dep)
+                    (satisfied_by_denotation dep trace))
+                deps
+            done)
+          [ `Distributed; `Central ])
+    (spec_files ())
+
+let test_conformance_reliable () =
+  conformance_sweep ~faults:Wf_sim.Netsim.no_faults ~label:"clean" ()
+
+let test_conformance_faulty () =
+  (* Aggregate the counters across the sweep: the fault layer and the
+     reliable channel must both demonstrably engage. *)
+  let agg = ref (Wf_sim.Stats.create ()) in
+  List.iter
+    (fun path ->
+      let { Wf_lang.Elaborate.def; templates } =
+        Wf_lang.Elaborate.load_file path
+      in
+      if templates <> [] then param_sweep ~label:"faulty" path def templates
+      else
+        let deps = Wf_tasks.Workflow_def.dependencies def in
+        List.iter
+          (fun sched ->
+            for seed = 1 to 20 do
+              let r =
+                run_one ~sched ~faults:fault_load ~seed:(Int64.of_int seed) def
+              in
+              let name =
+                Printf.sprintf "faulty %s %s seed %d" (Filename.basename path)
+                  (sched_name sched) seed
+              in
+              checkb (name ^ ": satisfied") r.Event_sched.satisfied;
+              let trace = Event_sched.trace_literals r in
+              List.iter
+                (fun dep ->
+                  checkb
+                    (name ^ ": denotation of " ^ Expr.to_string dep)
+                    (satisfied_by_denotation dep trace))
+                deps;
+              agg := Wf_sim.Stats.merge !agg r.Event_sched.stats
+            done)
+          [ `Distributed; `Central ])
+    (spec_files ());
+  let count name = Wf_sim.Stats.count !agg name in
+  checkb "network dropped messages" (count "net_drops" > 0);
+  checkb "network duplicated messages" (count "net_duplicates" > 0);
+  checkb "partition cut messages" (count "net_partition_drops" > 0);
+  checkb "channel retransmitted" (count "chan_retransmits" > 0);
+  checkb "channel suppressed duplicates"
+    (count "chan_duplicates_suppressed" > 0);
+  checkb "no message permanently lost" (count "chan_gave_up" = 0)
+
+(* The same seed and fault configuration must replay to the same trace:
+   faulty runs are reproducible from (seed, fault config). *)
+let test_faulty_determinism () =
+  let path = Filename.concat spec_dir "travel.wf" in
+  let { Wf_lang.Elaborate.def; _ } = Wf_lang.Elaborate.load_file path in
+  let go () =
+    Event_sched.run
+      ~config:
+        { Event_sched.default_config with seed = 77L; faults = fault_load }
+      def
+  in
+  let r1 = go () and r2 = go () in
+  check
+    Alcotest.(list string)
+    "same (seed, faults), same trace"
+    (List.map Literal.to_string (Event_sched.trace_literals r1))
+    (List.map Literal.to_string (Event_sched.trace_literals r2))
+
+let suite =
+  [
+    Alcotest.test_case "specs x schedulers x 20 seeds (reliable net)" `Slow
+      test_conformance_reliable;
+    Alcotest.test_case "specs x schedulers x 20 seeds (faulty net)" `Slow
+      test_conformance_faulty;
+    Alcotest.test_case "faulty runs replay deterministically" `Quick
+      test_faulty_determinism;
+  ]

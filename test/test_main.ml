@@ -9,9 +9,12 @@ let () =
       ("knowledge", Test_knowledge.suite);
       ("synthesis", Test_synth.suite);
       ("simulator", Test_sim.suite);
+      ("channel", Test_channel.suite);
       ("tasks", Test_tasks.suite);
       ("store", Test_store.suite);
       ("schedulers", Test_sched.suite);
+      ("conformance", Test_conformance.suite);
+      ("properties", Test_props.suite);
       ("parametrized", Test_param.suite);
       ("language", Test_lang.suite);
     ]

@@ -62,6 +62,74 @@ let test_rng_ranges () =
     checkb "exponential nonnegative" (ex >= 0.0)
   done
 
+(* --- uniformity: chi-square goodness of fit ------------------------------ *)
+
+(* With the pinned seeds these are deterministic; the thresholds are the
+   chi-square critical values at p = 0.001, so even a re-seeding would
+   fail only once in a thousand. *)
+let chi_square observed expected =
+  Array.fold_left ( +. ) 0.0
+    (Array.mapi
+       (fun i o ->
+         let d = float_of_int o -. expected.(i) in
+         d *. d /. expected.(i))
+       observed)
+
+let test_rng_int_uniform () =
+  let r = Rng.create 3L in
+  let bins = 10 in
+  let n = 100_000 in
+  let counts = Array.make bins 0 in
+  for _ = 1 to n do
+    let x = Rng.int r bins in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let expected = Array.make bins (float_of_int n /. float_of_int bins) in
+  let x2 = chi_square counts expected in
+  (* df = 9, critical value at p = 0.001 is 27.88 *)
+  checkb (Printf.sprintf "chi-square %.2f < 27.88" x2) (x2 < 27.88);
+  (* A bound that is NOT a power of two exercises the rejection path. *)
+  let counts7 = Array.make 7 0 in
+  for _ = 1 to n do
+    let x = Rng.int r 7 in
+    counts7.(x) <- counts7.(x) + 1
+  done;
+  let expected7 = Array.make 7 (float_of_int n /. 7.0) in
+  let x27 = chi_square counts7 expected7 in
+  (* df = 6, critical value at p = 0.001 is 22.46 *)
+  checkb (Printf.sprintf "bound 7: chi-square %.2f < 22.46" x27) (x27 < 22.46)
+
+let test_rng_shuffle_uniform () =
+  (* Fisher–Yates with an unbiased [int]: every element is equally
+     likely at every position.  Track where element 0 lands. *)
+  let r = Rng.create 4L in
+  let k = 5 in
+  let n = 50_000 in
+  let pos = Array.make k 0 in
+  for _ = 1 to n do
+    let arr = Array.init k (fun i -> i) in
+    Rng.shuffle r arr;
+    Array.iteri (fun i v -> if v = 0 then pos.(i) <- pos.(i) + 1) arr
+  done;
+  let expected = Array.make k (float_of_int n /. float_of_int k) in
+  let x2 = chi_square pos expected in
+  (* df = 4, critical value at p = 0.001 is 18.47 *)
+  checkb (Printf.sprintf "shuffle chi-square %.2f < 18.47" x2) (x2 < 18.47)
+
+let test_rng_pick_uniform () =
+  let r = Rng.create 5L in
+  let items = [ 0; 1; 2; 3; 4; 5 ] in
+  let n = 60_000 in
+  let counts = Array.make 6 0 in
+  for _ = 1 to n do
+    let x = Rng.pick r items in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let expected = Array.make 6 (float_of_int n /. 6.0) in
+  let x2 = chi_square counts expected in
+  (* df = 5, critical value at p = 0.001 is 20.52 *)
+  checkb (Printf.sprintf "pick chi-square %.2f < 20.52" x2) (x2 < 20.52)
+
 let test_rng_exponential_mean () =
   let r = Rng.create 2L in
   let n = 20_000 in
@@ -149,18 +217,154 @@ let test_netsim_stats () =
   check Alcotest.int "dropped" 1
     (Stats.count (Netsim.stats net) "messages_dropped")
 
+(* --- fault injection ------------------------------------------------------ *)
+
+let faulty_net ?(num_sites = 2) ?(seed = 9L) faults =
+  Netsim.create ~seed ~faults ~num_sites
+    ~latency:(Netsim.uniform_latency ~base:1.0 ~jitter:0.0)
+    ()
+
+let test_netsim_drop_all () =
+  let net = faulty_net { Netsim.no_faults with drop_rate = 1.0 } in
+  let received = ref 0 in
+  Netsim.on_receive net 1 (fun _ () -> incr received);
+  for _ = 1 to 20 do
+    Netsim.send net ~src:0 ~dst:1 ()
+  done;
+  Netsim.run net;
+  check Alcotest.int "nothing delivered" 0 !received;
+  check Alcotest.int "all dropped" 20 (Stats.count (Netsim.stats net) "net_drops")
+
+let test_netsim_duplicate_all () =
+  let net = faulty_net { Netsim.no_faults with duplicate_rate = 1.0 } in
+  let received = ref 0 in
+  Netsim.on_receive net 1 (fun _ () -> incr received);
+  for _ = 1 to 20 do
+    Netsim.send net ~src:0 ~dst:1 ()
+  done;
+  Netsim.run net;
+  check Alcotest.int "every message delivered twice" 40 !received;
+  check Alcotest.int "duplicates counted" 20
+    (Stats.count (Netsim.stats net) "net_duplicates")
+
+let test_netsim_partition_window () =
+  let faults =
+    {
+      Netsim.no_faults with
+      partitions =
+        [
+          {
+            Netsim.cut_from = 0.0;
+            cut_until = 10.0;
+            group_a = [ 0 ];
+            group_b = [ 1 ];
+          };
+        ];
+    }
+  in
+  let net = faulty_net faults in
+  let received = ref 0 in
+  Netsim.on_receive net 1 (fun _ () -> incr received);
+  Netsim.on_receive net 0 (fun _ () -> incr received);
+  (* Inside the window: cut, in both directions. *)
+  Netsim.send net ~src:0 ~dst:1 ();
+  Netsim.send net ~src:1 ~dst:0 ();
+  (* After the window closes: flows again. *)
+  Netsim.schedule net ~delay:15.0 (fun () -> Netsim.send net ~src:0 ~dst:1 ());
+  Netsim.run net;
+  check Alcotest.int "only the post-window message" 1 !received;
+  check Alcotest.int "both directions cut" 2
+    (Stats.count (Netsim.stats net) "net_partition_drops")
+
+let test_netsim_pause_resume () =
+  let net = faulty_net Netsim.no_faults in
+  let received = ref [] in
+  Netsim.on_receive net 1 (fun _ i -> received := i :: !received);
+  Netsim.pause_site net 1;
+  checkb "paused" (Netsim.site_paused net 1);
+  for i = 1 to 5 do
+    Netsim.send net ~src:0 ~dst:1 i
+  done;
+  Netsim.schedule net ~delay:20.0 (fun () -> Netsim.resume_site net 1);
+  Netsim.run net;
+  check Alcotest.(list int) "backlog flushed in order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !received);
+  checkb "stalled deliveries counted"
+    (Stats.count (Netsim.stats net) "net_stalled" >= 5);
+  checkb "flushed at resume time" (Netsim.now net >= 20.0)
+
+let test_netsim_reorder () =
+  (* Reordering must break per-link FIFO while still delivering every
+     message exactly once. *)
+  let faults =
+    { Netsim.no_faults with reorder_rate = 0.5; reorder_window = 25.0 }
+  in
+  let net = faulty_net ~seed:3L faults in
+  let received = ref [] in
+  Netsim.on_receive net 1 (fun _ i -> received := i :: !received);
+  let n = 50 in
+  for i = 1 to n do
+    Netsim.send net ~src:0 ~dst:1 i
+  done;
+  Netsim.run net;
+  let out = List.rev !received in
+  check Alcotest.(list int) "same multiset" (List.init n (fun i -> i + 1))
+    (List.sort compare out);
+  checkb "order actually perturbed" (out <> List.init n (fun i -> i + 1));
+  checkb "reorders counted" (Stats.count (Netsim.stats net) "net_reordered" > 0)
+
+let test_netsim_fault_determinism () =
+  let faults =
+    {
+      Netsim.no_faults with
+      drop_rate = 0.3;
+      duplicate_rate = 0.2;
+      reorder_rate = 0.2;
+      reorder_window = 5.0;
+    }
+  in
+  let go () =
+    let net = faulty_net ~seed:11L faults in
+    let received = ref [] in
+    Netsim.on_receive net 1 (fun _ i -> received := i :: !received);
+    for i = 1 to 30 do
+      Netsim.send net ~src:0 ~dst:1 i
+    done;
+    Netsim.run net;
+    List.rev !received
+  in
+  check Alcotest.(list int) "same seed, same faulty delivery" (go ()) (go ())
+
 let suite =
   [
     Alcotest.test_case "heap ordering" `Quick test_heap_order;
     Alcotest.test_case "heap interleaved" `Quick test_heap_interleaved;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "rng int uniformity (chi-square)" `Slow
+      test_rng_int_uniform;
+    Alcotest.test_case "rng shuffle uniformity (chi-square)" `Slow
+      test_rng_shuffle_uniform;
+    Alcotest.test_case "rng pick uniformity (chi-square)" `Slow
+      test_rng_pick_uniform;
     Alcotest.test_case "rng exponential mean" `Slow test_rng_exponential_mean;
     Alcotest.test_case "stats" `Quick test_stats;
     Alcotest.test_case "netsim delivery" `Quick test_netsim_delivery;
     Alcotest.test_case "netsim FIFO under jitter" `Quick test_netsim_fifo;
     Alcotest.test_case "netsim timed actions" `Quick test_netsim_schedule;
     Alcotest.test_case "netsim stats" `Quick test_netsim_stats;
+    Alcotest.test_case "faults: drop_rate 1.0 delivers nothing" `Quick
+      test_netsim_drop_all;
+    Alcotest.test_case "faults: duplicate_rate 1.0 doubles traffic" `Quick
+      test_netsim_duplicate_all;
+    Alcotest.test_case "faults: partition window cuts both ways" `Quick
+      test_netsim_partition_window;
+    Alcotest.test_case "faults: pause buffers, resume flushes" `Quick
+      test_netsim_pause_resume;
+    Alcotest.test_case "faults: reorder breaks FIFO, keeps multiset" `Quick
+      test_netsim_reorder;
+    Alcotest.test_case "faults: same seed replays identically" `Quick
+      test_netsim_fault_determinism;
     qtest ~count:50 "heap sorts arbitrary keys"
       QCheck2.Gen.(list_size (int_bound 40) (float_bound_inclusive 100.0))
       (fun keys ->
