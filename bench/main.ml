@@ -2,7 +2,13 @@
    the paper's evaluation (see DESIGN.md's experiment index), printing
    the artifact next to a Bechamel timing of the computation behind it.
 
-   Run with:  dune exec bench/main.exe *)
+   Run with:  dune exec bench/main.exe [-- FLAGS]
+
+   Flags:
+     --scaling   run only the CORE before/after scaling suite
+     --smoke     small configs and quotas (CI smoke job)
+     --json [F]  write the CORE suite's numbers to F (default
+                 BENCH_CORE.json in the current directory) *)
 
 open Wf_core
 open Wf_tasks
@@ -13,10 +19,10 @@ open Toolkit
 (* --- timing helper -------------------------------------------------------- *)
 
 (* One Bechamel Test.make per measured kernel; OLS estimate of ns/run. *)
-let measure_ns name fn =
+let measure_ns ?(quota = 0.1) name fn =
   let test = Test.make ~name (Staged.stage fn) in
   let cfg =
-    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.1) ~kde:None
+    Benchmark.cfg ~limit:300 ~quota:(Time.second quota) ~kde:None
       ~stabilize:false ()
   in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
@@ -551,24 +557,287 @@ let bench_fastpath () =
         (t_mono /. t_fast))
     [ 1; 2; 3 ]
 
+(* --- CORE: hash-consed symbolic core vs the naive oracle --------------------- *)
+
+(* Before/after measurements of the interned + memoized kernels against
+   the naive reference paths they replaced.  "Naive" runs with
+   [Intern.set_enabled false], which routes residuation, guard
+   synthesis, and automaton construction through the oracle
+   implementations; "optimized" clears the derived memo tables before
+   every iteration, so each sample is a cold full-workload computation —
+   the ratio shows sharing {e within} one workload, not cache hits
+   across bench iterations (which would flatter the optimized side). *)
+
+type core_row = {
+  bench : string;
+  config : string;
+  naive_ns : float;
+  opt_ns : float;
+}
+
+let speedup r = r.naive_ns /. r.opt_ns
+
+let with_intern enabled fn =
+  let prev = Intern.enabled () in
+  Intern.set_enabled enabled;
+  Intern.clear_memos ();
+  Fun.protect ~finally:(fun () -> Intern.set_enabled prev) fn
+
+(* Bechamel's OLS needs long steady runs to converge; on a shared
+   machine its estimates for millisecond-scale workloads swing by
+   several x between invocations.  The CORE rows instead report the
+   minimum of repeated wall-clock timings — the minimum is the run least
+   disturbed by the machine, and both legs are measured identically. *)
+let time_once fn =
+  let t0 = Monotonic_clock.get () in
+  fn ();
+  Monotonic_clock.get () -. t0
+
+let min_ns ~budget fn =
+  fn () |> ignore;
+  (* warm-up (and first estimate) *)
+  let once = Float.max (time_once fn) 1.0 in
+  let reps = max 3 (min 25 (int_of_float (budget /. once))) in
+  let best = ref once in
+  for _ = 2 to reps do
+    let t = time_once fn in
+    if t < !best then best := t
+  done;
+  !best
+
+(* The two legs alternate rep by rep, so contention windows longer than
+   a single rep degrade both sides equally instead of skewing the ratio. *)
+let core_bench ~budget ~rows ~bench ~config work =
+  let work () = ignore (work ()) in
+  let naive () = with_intern false work in
+  let opt () =
+    with_intern true (fun () ->
+        Intern.clear_memos ();
+        work ())
+  in
+  naive ();
+  opt ();
+  let best_n = ref (Float.max (time_once naive) 1.0) in
+  let best_o = ref (Float.max (time_once opt) 1.0) in
+  let reps = max 3 (min 25 (int_of_float (budget /. (!best_n +. !best_o)))) in
+  for _ = 2 to reps do
+    let t = time_once naive in
+    if t < !best_n then best_n := t;
+    let t = time_once opt in
+    if t < !best_o then best_o := t
+  done;
+  let row = { bench; config; naive_ns = !best_n; opt_ns = !best_o } in
+  rows := row :: !rows;
+  Printf.printf "%-18s %-14s %12s %12s %8.1fx\n%!" bench config (pp_ns !best_n)
+    (pp_ns !best_o) (speedup row)
+
+(* Three synthetic dependency families of growing width: chains
+   x0.x1...xn (long sequential residuation), fan-ins (x0 & ... & xn).fin
+   whose conjunction interleavings blow up the normal form, and
+   overlapping sliding-window chains whose residuals coincide across
+   dependencies — the workload where a memo shared across the whole
+   workflow (rather than per synthesis call) pays off most. *)
+let chain_dep n =
+  Expr.seq_all (List.init n (fun i -> Expr.event (Printf.sprintf "x%d" i)))
+
+let fanin_dep n =
+  Expr.seq
+    (Expr.conj_all (List.init n (fun i -> Expr.event (Printf.sprintf "x%d" i))))
+    (Expr.event "fin")
+
+let overlap_deps k =
+  List.init k (fun i ->
+      Expr.seq_all
+        (List.init 5 (fun j -> Expr.event (Printf.sprintf "x%d" (i + j)))))
+
+(* Conjunction of two n-chains over disjoint symbols: the automaton is
+   the (n+1)x(n+1) product grid, so states multiply while the alphabet
+   (2n symbols) stays beyond the semantic-merge threshold — the
+   regime where state dedup and residuation dominate construction. *)
+let grid_dep n =
+  Expr.conj
+    (Expr.seq_all (List.init n (fun i -> Expr.event (Printf.sprintf "x%d" i))))
+    (Expr.seq_all (List.init n (fun i -> Expr.event (Printf.sprintf "y%d" i))))
+
+(* Three-way product: normal forms are the shuffles of three chains, so
+   they get wide fast — the regime where memoized term residues and
+   id-keyed state dedup matter most. *)
+let cube_dep n =
+  Expr.conj_all
+    [
+      Expr.seq_all (List.init n (fun i -> Expr.event (Printf.sprintf "x%d" i)));
+      Expr.seq_all (List.init n (fun i -> Expr.event (Printf.sprintf "y%d" i)));
+      Expr.seq_all (List.init n (fun i -> Expr.event (Printf.sprintf "z%d" i)));
+    ]
+
+let bench_core ~smoke () =
+  section "CORE" "Hash-consed symbolic core vs naive oracle (before/after)";
+  let budget = if smoke then 5e7 else 5e8 in
+  let chains = if smoke then [ 4 ] else [ 4; 6; 8; 10 ] in
+  let fanins = if smoke then [ 2 ] else [ 2; 3; 4 ] in
+  let grids = if smoke then [ 2 ] else [ 3; 4; 5 ] in
+  let cubes = if smoke then [] else [ 2; 3 ] in
+  let overlaps = if smoke then [ 2 ] else [ 2; 4; 6 ] in
+  let runs = if smoke then [ 1 ] else [ 2; 5 ] in
+  let noise = if smoke then 16 else 64 in
+  let rows = ref [] in
+  Printf.printf "%-18s %-14s %12s %12s %8s\n" "bench" "config" "naive"
+    "optimized" "speedup";
+  (* Per-bench rows run narrow to wide, so the last row of each bench is
+     its widest configuration — the headline number in the JSON. *)
+  let dep_benches mk fam widths =
+    List.iter
+      (fun n ->
+        let d = mk n in
+        let config = Printf.sprintf "%s-%d" fam n in
+        core_bench ~budget ~rows ~bench:"guard-synthesis" ~config (fun () ->
+            ignore (Synth.all_guards [ d ]));
+        core_bench ~budget ~rows ~bench:"automaton-build" ~config (fun () ->
+            ignore (Automaton.build d)))
+      widths
+  in
+  (* Family order makes the last row of each bench its widest: chains
+     and grids first, then overlapping windows, then fan-ins and cubes
+     whose normal forms are the widest objects in the suite. *)
+  dep_benches chain_dep "chain" chains;
+  List.iter
+    (fun n ->
+      let d = grid_dep n in
+      core_bench ~budget ~rows ~bench:"automaton-build"
+        ~config:(Printf.sprintf "grid-%d" n) (fun () ->
+          ignore (Automaton.build d)))
+    grids;
+  List.iter
+    (fun k ->
+      let deps = overlap_deps k in
+      core_bench ~budget ~rows ~bench:"guard-synthesis"
+        ~config:(Printf.sprintf "overlap-%d" k) (fun () ->
+          ignore (Synth.all_guards deps)))
+    overlaps;
+  dep_benches fanin_dep "fanin" fanins;
+  List.iter
+    (fun n ->
+      let d = cube_dep n in
+      core_bench ~budget ~rows ~bench:"automaton-build"
+        ~config:(Printf.sprintf "cube-%d" n) (fun () ->
+          ignore (Automaton.build d)))
+    cubes;
+  List.iter
+    (fun n ->
+      let wf = travel_wf ~n () in
+      core_bench ~budget ~rows ~bench:"simulated-run"
+        ~config:(Printf.sprintf "travel-%d" n) (fun () ->
+          ignore (Event_sched.run wf)))
+    runs;
+  (* Indexed assimilation: a wide fan-in guard fed a stream that is
+     mostly announcements of symbols the guard never mentions — the
+     watch index skips them outright, the naive fold renormalizes the
+     whole sum every time. *)
+  let fanin_n = List.fold_left max 2 fanins in
+  let g0 =
+    with_intern true (fun () -> Synth.guard (fanin_dep fanin_n) (lit "fin"))
+  in
+  let news =
+    List.concat
+      (List.init noise (fun j ->
+           lit (Printf.sprintf "y%d" j)
+           ::
+           (if j < fanin_n then [ lit (Printf.sprintf "x%d" j) ] else [])))
+  in
+  let config = Printf.sprintf "fanin-%d+%dnoise" fanin_n noise in
+  let naive_ns =
+    min_ns ~budget (fun () ->
+        ignore
+          (List.fold_left (fun g x -> Guard.assimilate_occurred x g) g0 news))
+  in
+  let opt_ns =
+    min_ns ~budget (fun () ->
+        ignore
+          (List.fold_left
+             (fun ix x -> Guard.Indexed.occurred x ix)
+             (Guard.Indexed.of_guard g0) news))
+  in
+  let row = { bench = "assimilation"; config; naive_ns; opt_ns } in
+  rows := row :: !rows;
+  Printf.printf "%-18s %-14s %12s %12s %8.1fx\n%!" row.bench config
+    (pp_ns naive_ns) (pp_ns opt_ns) (speedup row);
+  List.rev !rows
+
+(* Hand-rolled JSON (no extra dependencies); nan timings become null. *)
+let js_float x =
+  if Float.is_nan x then "null" else Printf.sprintf "%.1f" x
+
+let js_ratio r =
+  if Float.is_nan r.naive_ns || Float.is_nan r.opt_ns then "null"
+  else Printf.sprintf "%.2f" (speedup r)
+
+(* For each bench the widest (last-listed) config is the headline
+   number: the ISSUE's acceptance bar is "optimized measurably faster on
+   the widest scaling config". *)
+let widest_rows rows =
+  List.fold_left
+    (fun acc r -> (r.bench, r) :: List.remove_assoc r.bench acc)
+    [] rows
+  |> List.rev
+
+let write_core_json path ~smoke rows =
+  let oc = open_out path in
+  let row_json r =
+    Printf.sprintf
+      "{\"bench\": \"%s\", \"config\": \"%s\", \"naive_ns\": %s, \
+       \"optimized_ns\": %s, \"speedup\": %s}"
+      r.bench r.config (js_float r.naive_ns) (js_float r.opt_ns) (js_ratio r)
+  in
+  Printf.fprintf oc "{\n  \"suite\": \"core-scaling\",\n  \"mode\": \"%s\",\n"
+    (if smoke then "smoke" else "full");
+  Printf.fprintf oc "  \"results\": [\n    %s\n  ],\n"
+    (String.concat ",\n    " (List.map row_json rows));
+  Printf.fprintf oc "  \"widest\": {\n    %s\n  }\n}\n"
+    (String.concat ",\n    "
+       (List.map
+          (fun (bench, r) -> Printf.sprintf "\"%s\": %s" bench (row_json r))
+          (widest_rows rows)));
+  close_out oc
+
 (* --- main --------------------------------------------------------------------- *)
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let smoke = List.mem "--smoke" args in
+  let scaling_only = List.mem "--scaling" args in
+  let json_path =
+    let rec find = function
+      | "--json" :: next :: _ when String.length next > 0 && next.[0] <> '-' ->
+          Some next
+      | "--json" :: _ -> Some "BENCH_CORE.json"
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   Printf.printf
     "Reproduction benches: Singh, \"Synthesizing Distributed Constrained \
      Events from Transactional Workflow Specifications\" (ICDE 1996)\n";
-  bench_universe ();
-  bench_automata ();
-  bench_figure3 ();
-  bench_guards ();
-  bench_execution ();
-  bench_travel ();
-  bench_two_phase ();
-  bench_latency ();
-  bench_faults ();
-  bench_param ();
-  bench_precompile ();
-  bench_scalability ();
-  bench_synthesis_scaling ();
-  bench_fastpath ();
+  if not scaling_only then begin
+    bench_universe ();
+    bench_automata ();
+    bench_figure3 ();
+    bench_guards ();
+    bench_execution ();
+    bench_travel ();
+    bench_two_phase ();
+    bench_latency ();
+    bench_faults ();
+    bench_param ();
+    bench_precompile ();
+    bench_scalability ();
+    bench_synthesis_scaling ();
+    bench_fastpath ()
+  end;
+  let rows = bench_core ~smoke () in
+  (match json_path with
+  | Some path ->
+      write_core_json path ~smoke rows;
+      Printf.printf "wrote %s\n" path
+  | None -> ());
   Printf.printf "\nAll artifacts regenerated.\n"

@@ -1,8 +1,19 @@
 type state = int
 
+module Lit_tbl = Hashtbl.Make (struct
+  type t = Literal.t
+
+  let equal a b = Literal.compare a b = 0
+
+  let hash (l : t) =
+    (Symbol.hash l.Literal.sym * 2)
+    + (match l.Literal.pol with Literal.Pos -> 0 | Literal.Neg -> 1)
+end)
+
 type t = {
   states : Nf.t array; (* index = state id; 0 = initial *)
   alphabet : Literal.t list;
+  lit_index : int Lit_tbl.t; (* literal -> position in [alphabet] *)
   edges : state array array; (* edges.(s).(i) = step on alphabet.(i) *)
   accepting : bool array;
   dead : bool array;
@@ -22,67 +33,24 @@ let index_in alphabet l =
   in
   go 0 alphabet
 
+let make_lit_index alphabet =
+  let tbl = Lit_tbl.create 32 in
+  List.iteri (fun i l -> Lit_tbl.replace tbl l i) alphabet;
+  tbl
+
 let step t s l =
-  match index_in t.alphabet l with None -> s | Some i -> t.edges.(s).(i)
+  match Lit_tbl.find_opt t.lit_index l with
+  | None -> s
+  | Some i -> t.edges.(s).(i)
 
 let run t u = List.fold_left (step t) 0 u
 let is_accepting t s = t.accepting.(s)
 let is_dead t s = t.dead.(s)
 let can_complete t s = t.completable.(s)
 
-let build d =
-  let alpha_syms = Expr.symbols d in
-  let alphabet = Literal.Set.elements (Expr.literals d) in
-  let d0 = Nf.of_expr d in
-  (* State identity: semantic over the dependency's own alphabet when it
-     is small enough to enumerate; the syntactic canonical form
-     otherwise (sound — at worst a language is represented by more than
-     one state). *)
-  let small = Symbol.Set.cardinal alpha_syms <= 4 in
-  let same a b =
-    Nf.equal a b
-    || (small && Equiv.equal ~alphabet:alpha_syms (Nf.to_expr a) (Nf.to_expr b))
-  in
-  let states = ref [ d0 ] in
-  let nstates = ref 1 in
-  let find_or_add nf_ =
-    let rec go i = function
-      | [] ->
-          states := !states @ [ nf_ ];
-          incr nstates;
-          (!nstates - 1, true)
-      | x :: rest -> if same x nf_ then (i, false) else go (i + 1) rest
-    in
-    go 0 !states
-  in
-  let edges = ref [] in
-  let rec explore frontier =
-    match frontier with
-    | [] -> ()
-    | s :: rest ->
-        let nf_s = List.nth !states s in
-        let new_frontier =
-          List.fold_left
-            (fun acc l ->
-              let nf' = Residue.nf nf_s l in
-              let s', fresh = find_or_add nf' in
-              edges := (s, l, s') :: !edges;
-              if fresh then s' :: acc else acc)
-            [] alphabet
-        in
-        explore (rest @ List.rev new_frontier)
-  in
-  explore [ 0 ];
-  let states = Array.of_list !states in
+(* Flags + backward completability fixpoint, shared by both builds. *)
+let finish ~small ~alpha_syms states alphabet edge_tbl =
   let n = Array.length states in
-  let k = List.length alphabet in
-  let edge_tbl = Array.init n (fun _ -> Array.make k 0) in
-  List.iter
-    (fun (s, l, s') ->
-      match index_in alphabet l with
-      | Some i -> edge_tbl.(s).(i) <- s'
-      | None -> assert false)
-    !edges;
   let accepting =
     Array.map
       (fun nf_ ->
@@ -110,7 +78,161 @@ let build d =
         end
     done
   done;
-  { states; alphabet; edges = edge_tbl; accepting; dead; completable }
+  {
+    states;
+    alphabet;
+    lit_index = make_lit_index alphabet;
+    edges = edge_tbl;
+    accepting;
+    dead;
+    completable;
+  }
+
+(* State identity, both builds: semantic over the dependency's own
+   alphabet when it is small enough to enumerate; the syntactic
+   canonical form otherwise (sound — at worst a language is represented
+   by more than one state). *)
+let small_alphabet alpha_syms = Symbol.Set.cardinal alpha_syms <= 4
+
+let build_naive d =
+  let alpha_syms = Expr.symbols d in
+  let alphabet = Literal.Set.elements (Expr.literals d) in
+  let d0 = Nf.of_expr d in
+  let small = small_alphabet alpha_syms in
+  let same a b =
+    Nf.equal a b
+    || (small && Equiv.equal ~alphabet:alpha_syms (Nf.to_expr a) (Nf.to_expr b))
+  in
+  let states = ref [ d0 ] in
+  let nstates = ref 1 in
+  let find_or_add nf_ =
+    let rec go i = function
+      | [] ->
+          states := !states @ [ nf_ ];
+          incr nstates;
+          (!nstates - 1, true)
+      | x :: rest -> if same x nf_ then (i, false) else go (i + 1) rest
+    in
+    go 0 !states
+  in
+  let edges = ref [] in
+  let rec explore frontier =
+    match frontier with
+    | [] -> ()
+    | s :: rest ->
+        let nf_s = List.nth !states s in
+        let new_frontier =
+          List.fold_left
+            (fun acc l ->
+              let nf' = Residue.nf_naive nf_s l in
+              let s', fresh = find_or_add nf' in
+              edges := (s, l, s') :: !edges;
+              if fresh then s' :: acc else acc)
+            [] alphabet
+        in
+        explore (rest @ List.rev new_frontier)
+  in
+  explore [ 0 ];
+  let states = Array.of_list !states in
+  let n = Array.length states in
+  let k = List.length alphabet in
+  let edge_tbl = Array.init n (fun _ -> Array.make k 0) in
+  List.iter
+    (fun (s, l, s') ->
+      match index_in alphabet l with
+      | Some i -> edge_tbl.(s).(i) <- s'
+      | None -> assert false)
+    !edges;
+  finish ~small ~alpha_syms states alphabet edge_tbl
+
+(* Fast build: states dedup through a table keyed on the interned
+   canonical form, frontier as a FIFO queue, edge rows written directly.
+   Produces the same automaton (states, numbering, edges, flags) as
+   {!build_naive}: the queue visits states in discovery order exactly
+   like the naive frontier append, and because states are pairwise
+   non-equivalent, a structural hit in the table is necessarily the
+   unique — hence first — match the naive linear scan would find.  On a
+   structural miss with a small alphabet we still scan once for a
+   semantic match, then record the interned id as an alias so every
+   later structural equal is O(1). *)
+let build_fast d =
+  let alpha_syms = Expr.symbols d in
+  let alphabet = Literal.Set.elements (Expr.literals d) in
+  let alpha = List.mapi (fun i l -> (i, l, Intern.literal l)) alphabet in
+  let d0 = Nf.of_expr d in
+  let small = small_alphabet alpha_syms in
+  let k = List.length alphabet in
+  (* Dynamic arrays of state normal forms and their interned ids; ids
+     ride along so residuation probes its memo without re-walking the
+     state's structure. *)
+  let cap = ref 16 in
+  let arr = ref (Array.make !cap d0) in
+  let ids = ref (Array.make !cap 0) in
+  let n = ref 0 in
+  let push nf_ id =
+    if !n = !cap then begin
+      let bigger = Array.make (2 * !cap) d0 in
+      Array.blit !arr 0 bigger 0 !n;
+      let bigger_ids = Array.make (2 * !cap) 0 in
+      Array.blit !ids 0 bigger_ids 0 !n;
+      arr := bigger;
+      ids := bigger_ids;
+      cap := 2 * !cap
+    end;
+    !arr.(!n) <- nf_;
+    !ids.(!n) <- id;
+    incr n
+  in
+  let by_id : (Intern.id, state) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let add_state nf_ id =
+    let s = !n in
+    push nf_ id;
+    Hashtbl.replace by_id id s;
+    Queue.add s queue;
+    s
+  in
+  let find_or_add nf_ id =
+    match Hashtbl.find_opt by_id id with
+    | Some s -> s
+    | None ->
+        if small then begin
+          let e' = Nf.to_expr nf_ in
+          let rec scan i =
+            if i >= !n then add_state nf_ id
+            else if Equiv.equal ~alphabet:alpha_syms (Nf.to_expr !arr.(i)) e'
+            then begin
+              (* Alias: this interned form denotes an existing state. *)
+              Hashtbl.replace by_id id i;
+              i
+            end
+            else scan (i + 1)
+          in
+          scan 0
+        end
+        else add_state nf_ id
+  in
+  ignore (add_state d0 (Intern.nf d0));
+  let rows_rev = ref [] in
+  (* FIFO processing = states handled in id order, so rows accumulate in
+     state order. *)
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let nf_s = !arr.(s) in
+    let s_id = !ids.(s) in
+    let row = Array.make k 0 in
+    List.iter
+      (fun (i, l, l_id) ->
+        let r, r_id = Residue.nf_interned nf_s s_id l l_id in
+        row.(i) <- find_or_add r r_id)
+      alpha;
+    rows_rev := row :: !rows_rev
+  done;
+  let states = Array.sub !arr 0 !n in
+  let edge_tbl = Array.of_list (List.rev !rows_rev) in
+  finish ~small ~alpha_syms states alphabet edge_tbl
+
+let build d = if Intern.enabled () then build_fast d else build_naive d
 
 let transitions t =
   let acc = ref [] in

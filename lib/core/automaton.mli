@@ -18,7 +18,15 @@ type t
 
 val build : Expr.t -> t
 (** Breadth-first residuation closure from the dependency, merging
-    semantically equal states (exact over the dependency's alphabet). *)
+    semantically equal states (exact over the dependency's alphabet).
+    When {!Intern.enabled}, states dedup through a hash table keyed on
+    the interned canonical form with a FIFO frontier; the result —
+    states, numbering, edges, flags — is identical to {!build_naive}. *)
+
+val build_naive : Expr.t -> t
+(** The original quadratic construction (linear-scan dedup, list-append
+    frontier, memo-free residuation) — the differential-testing oracle
+    and the "before" leg of the benches. *)
 
 val initial : t -> state
 val state_nf : t -> state -> Nf.t

@@ -49,7 +49,26 @@ let rec size = function
   | Zero | Top | Atom _ -> 1
   | Seq (a, b) | Choice (a, b) | Conj (a, b) -> 1 + size a + size b
 
-let compare = Stdlib.compare
+(* Structural compare, same motivation as Formula.compare. *)
+let rec compare a b =
+  let tag = function
+    | Zero -> 0
+    | Top -> 1
+    | Atom _ -> 2
+    | Seq _ -> 3
+    | Choice _ -> 4
+    | Conj _ -> 5
+  in
+  match (a, b) with
+  | Zero, Zero | Top, Top -> 0
+  | Atom x, Atom y -> Literal.compare x y
+  | Seq (a1, a2), Seq (b1, b2)
+  | Choice (a1, a2), Choice (b1, b2)
+  | Conj (a1, a2), Conj (b1, b2) ->
+      let c = compare a1 b1 in
+      if c <> 0 then c else compare a2 b2
+  | _ -> Int.compare (tag a) (tag b)
+
 let equal_syntactic a b = compare a b = 0
 
 (* Precedence: + (lowest), |, · (highest); parenthesize as needed. *)

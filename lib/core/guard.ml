@@ -64,7 +64,7 @@ let normalize_product masks pending =
       Some { masks; pending }
 
 let compare_product a b =
-  match Symbol.Map.compare Stdlib.compare a.masks b.masks with
+  match Symbol.Map.compare Symbol_state.compare_mask a.masks b.masks with
   | 0 -> List.compare Term.compare a.pending b.pending
   | c -> c
 
@@ -94,7 +94,7 @@ let try_merge p q =
         (fun _ a b ->
           let a = Option.value a ~default:Symbol_state.full
           and b = Option.value b ~default:Symbol_state.full in
-          if a = b then None else Some (a, b))
+          if Symbol_state.equal_mask a b then None else Some (a, b))
         p.masks q.masks
     in
     match Symbol.Map.bindings diff with
@@ -131,7 +131,7 @@ let normalize_sum products =
   (* A [⊤] product absorbs the whole sum. *)
   if
     List.exists
-      (fun p -> Symbol.Map.is_empty p.masks && p.pending = [])
+      (fun p -> Symbol.Map.is_empty p.masks && List.is_empty p.pending)
       products
   then [ { masks = Symbol.Map.empty; pending = [] } ]
   else products
@@ -186,10 +186,10 @@ let will_nf (nf_ : Nf.t) =
 
 let is_true g =
   match g with
-  | [ p ] -> Symbol.Map.is_empty p.masks && p.pending = []
+  | [ p ] -> Symbol.Map.is_empty p.masks && List.is_empty p.pending
   | _ -> false
 
-let is_false g = g = []
+let is_false g = List.is_empty g
 let products g = g
 
 let symbols g =
@@ -295,6 +295,87 @@ let assimilate_product_promise (x : Literal.t) p =
 
 let assimilate_promise x g =
   normalize_sum (List.filter_map (assimilate_product_promise x) g)
+
+(* Incremental assimilation: each product carries the symbols whose
+   announcements can change it, so an assimilation visits only the
+   watching products and an unwatched announcement is a no-op.  See the
+   interface for the exactness contract. *)
+module Indexed = struct
+  type entry = {
+    prod : product;
+    occ_syms : Symbol.Set.t; (* masks ∪ pending: occurrences touch both *)
+    mask_syms : Symbol.Set.t; (* promises only touch masks *)
+  }
+
+  type t = {
+    entries : entry list;
+    occ_watch : Symbol.Set.t; (* union over entries *)
+    mask_watch : Symbol.Set.t;
+  }
+
+  let entry_of_product p =
+    let mask_syms =
+      Symbol.Map.fold (fun sym _ a -> Symbol.Set.add sym a) p.masks
+        Symbol.Set.empty
+    in
+    let occ_syms =
+      List.fold_left
+        (fun a tau ->
+          List.fold_left
+            (fun a l -> Symbol.Set.add (Literal.symbol l) a)
+            a tau)
+        mask_syms p.pending
+    in
+    { prod = p; occ_syms; mask_syms }
+
+  let of_guard g =
+    let entries = List.map entry_of_product g in
+    {
+      entries;
+      occ_watch =
+        List.fold_left
+          (fun a e -> Symbol.Set.union a e.occ_syms)
+          Symbol.Set.empty entries;
+      mask_watch =
+        List.fold_left
+          (fun a e -> Symbol.Set.union a e.mask_syms)
+          Symbol.Set.empty entries;
+    }
+
+  let to_guard t = List.map (fun e -> e.prod) t.entries
+  let watches_occurred t sym = Symbol.Set.mem sym t.occ_watch
+  let watches_promised t sym = Symbol.Set.mem sym t.mask_watch
+
+  (* Both updates assimilate the watching products, pass the rest
+     through, and renormalize the sum exactly as the naive path would:
+     the naive per-product step is the identity on non-watching
+     products, so the multiset entering [normalize_sum] is the same. *)
+  let occurred x t =
+    let sym = Literal.symbol x in
+    if not (Symbol.Set.mem sym t.occ_watch) then t
+    else
+      let touched, rest =
+        List.partition (fun e -> Symbol.Set.mem sym e.occ_syms) t.entries
+      in
+      let touched' =
+        List.filter_map (fun e -> assimilate_product_occurred x e.prod) touched
+      in
+      of_guard
+        (normalize_sum (touched' @ List.map (fun e -> e.prod) rest))
+
+  let promised x t =
+    let sym = Literal.symbol x in
+    if not (Symbol.Set.mem sym t.mask_watch) then t
+    else
+      let touched, rest =
+        List.partition (fun e -> Symbol.Set.mem sym e.mask_syms) t.entries
+      in
+      let touched' =
+        List.filter_map (fun e -> assimilate_product_promise x e.prod) touched
+      in
+      of_guard
+        (normalize_sum (touched' @ List.map (fun e -> e.prod) rest))
+end
 
 (* --- requirements ------------------------------------------------------- *)
 

@@ -3,8 +3,8 @@ type t = product list
 
 let zero : t = []
 let top : t = [ [] ]
-let is_zero t = t = []
-let is_top t = t = [ [] ]
+let is_zero t = List.is_empty t
+let is_top t = match t with [ [] ] -> true | _ -> false
 
 (* --- product-level reasoning ------------------------------------------- *)
 
@@ -105,7 +105,7 @@ let conj a b =
 let seq a b =
   (* (τ1|…|τm)·(σ1|…|σk) = ⋀_{i,j} τi·σj: a single split point serves all
      conjuncts, so sequencing distributes over the products. *)
-  let terms p = if p = [] then [ Term.top ] else p in
+  let terms p = if List.is_empty p then [ Term.top ] else p in
   let seq_products p q =
     let concats =
       List.concat_map (fun tau -> List.map (fun sigma -> Term.make (tau @ sigma)) (terms q)) (terms p)

@@ -10,11 +10,74 @@ let product p e =
   in
   go [] p
 
-let nf (t : Nf.t) e : Nf.t =
+let nf_naive (t : Nf.t) e : Nf.t =
   (* Rules 1 and 4: residuation distributes over [+]; [0] summands drop. *)
   List.fold_left
     (fun acc p -> match product p e with None -> acc | Some p' -> Nf.sum acc [ p' ])
     Nf.zero t
+
+(* --- memoized fast path -------------------------------------------------
+   Keys are pairs of interned ids, so a hit costs one shallow intern per
+   layer plus one int-pair hash.  Tables are process-wide (registered
+   with {!Intern.clear_memos}); residuals recur across events of a run,
+   so sharing them is where the speedup comes from. *)
+
+module Pair_tbl = Intern.Pair_tbl
+
+let term_memo : Term.t option Pair_tbl.t = Pair_tbl.create 4096
+
+(* The memo stores each residual together with its interned id, so
+   callers that chain residuations (guard synthesis, automaton
+   construction) get the next memo key for free instead of re-walking
+   the result's structure. *)
+let nf_memo : (Nf.t * Intern.id) Pair_tbl.t = Pair_tbl.create 4096
+
+let () =
+  Intern.register_clearer (fun () ->
+      Pair_tbl.reset term_memo;
+      Pair_tbl.reset nf_memo)
+
+let term_residue tm e =
+  if not (Intern.enabled ()) then Term.residue tm e
+  else
+    let key = (Intern.term tm, Intern.literal e) in
+    match Pair_tbl.find_opt term_memo key with
+    | Some r -> r
+    | None ->
+        let r = Term.residue tm e in
+        Pair_tbl.add term_memo key r;
+        r
+
+let product_memo p e =
+  let rec go acc = function
+    | [] -> Nf.normalize_product acc
+    | tm :: rest -> (
+        match term_residue tm e with
+        | None -> None
+        | Some tm' -> go (tm' :: acc) rest)
+  in
+  go [] p
+
+let nf_interned (t : Nf.t) t_id e e_id : Nf.t * Intern.id =
+  let key = (t_id, e_id) in
+  match Pair_tbl.find_opt nf_memo key with
+  | Some entry -> entry
+  | None ->
+      let r =
+        List.fold_left
+          (fun acc p ->
+            match product_memo p e with
+            | None -> acc
+            | Some p' -> Nf.sum acc [ p' ])
+          Nf.zero t
+      in
+      let entry = (r, Intern.nf r) in
+      Pair_tbl.add nf_memo key entry;
+      entry
+
+let nf (t : Nf.t) e : Nf.t =
+  if not (Intern.enabled ()) then nf_naive t e
+  else fst (nf_interned t (Intern.nf t) e (Intern.literal e))
 
 let symbolic d e = Nf.to_expr (nf (Nf.of_expr d) e)
 

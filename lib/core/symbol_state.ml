@@ -5,6 +5,8 @@ type situation = A | B | C | D
 let bit = function A -> 1 | B -> 2 | C -> 4 | D -> 8
 let full = 15
 let empty = 0
+let compare_mask = Int.compare
+let equal_mask = Int.equal
 let of_situation s = bit s
 let mem s m = m land bit s <> 0
 let inter a b = a land b

@@ -22,6 +22,9 @@ type situation = A | B | C | D
 val full : mask
 val empty : mask
 
+val compare_mask : mask -> mask -> int
+val equal_mask : mask -> mask -> bool
+
 val of_situation : situation -> mask
 val mem : situation -> mask -> bool
 val inter : mask -> mask -> mask

@@ -1,3 +1,9 @@
+(* --- naive reference ----------------------------------------------------
+   The original per-call implementation: a [Map] memo built afresh for
+   each [guard_nf_naive] call and discarded afterwards, on top of
+   memo-free residuation.  Kept as the differential-testing oracle and
+   the "before" leg of the benches. *)
+
 module Key = struct
   type t = Nf.t * Literal.t
 
@@ -7,30 +13,90 @@ end
 
 module Memo = Map.Make (Key)
 
+let gamma d e =
+  Literal.Set.elements
+    (Literal.Set.filter
+       (fun l -> not (Symbol.equal (Literal.symbol l) (Literal.symbol e)))
+       (Nf.literals d))
+
 let rec guard_memo memo (d : Nf.t) (e : Literal.t) =
   match Memo.find_opt (d, e) !memo with
   | Some g -> g
   | None ->
-      let gamma_de =
-        Literal.Set.elements
-          (Literal.Set.filter
-             (fun l -> not (Symbol.equal (Literal.symbol l) (Literal.symbol e)))
-             (Nf.literals d))
-      in
+      let gamma_de = gamma d e in
       let first =
         Guard.conj
-          (Guard.will_nf (Residue.nf d e))
+          (Guard.will_nf (Residue.nf_naive d e))
           (Guard.conj_all (List.map Guard.hasnt gamma_de))
       in
       let branch f =
-        Guard.conj (Guard.has f) (guard_memo memo (Residue.nf d f) e)
+        Guard.conj (Guard.has f) (guard_memo memo (Residue.nf_naive d f) e)
       in
       let g = Guard.sum_all (first :: List.map branch gamma_de) in
       memo := Memo.add (d, e) g !memo;
       g
 
-let guard_nf d e = guard_memo (ref Memo.empty) d e
+let guard_nf_naive d e = guard_memo (ref Memo.empty) d e
+
+(* --- shared-memo fast path ----------------------------------------------
+   One process-wide table keyed on interned ids.  [G(D,e)] recursion
+   revisits the same [(residual, event)] pairs both within one guard
+   (diamonds in the residual graph) and across the guards of a workflow
+   ([all_guards] residuates the same dependency for every literal), so a
+   memo that outlives the call replaces recomputation with a hash probe. *)
+
+let guard_tbl : Guard.t Intern.Pair_tbl.t = Intern.Pair_tbl.create 4096
+let () = Intern.register_clearer (fun () -> Intern.Pair_tbl.reset guard_tbl)
+
+(* The literal set of a residual is needed at every recursion node, for
+   every event it is residuated against; computing it once per distinct
+   interned form shares the walk across all of a workflow's guards. *)
+let lits_tbl : (Intern.id, Literal.Set.t) Hashtbl.t = Hashtbl.create 1024
+let () = Intern.register_clearer (fun () -> Hashtbl.reset lits_tbl)
+
+let nf_literals d d_id =
+  match Hashtbl.find_opt lits_tbl d_id with
+  | Some s -> s
+  | None ->
+      let s = Nf.literals d in
+      Hashtbl.add lits_tbl d_id s;
+      s
+
+let gamma_shared d d_id e =
+  Literal.Set.elements
+    (Literal.Set.filter
+       (fun l -> not (Symbol.equal (Literal.symbol l) (Literal.symbol e)))
+       (nf_literals d d_id))
+
+(* Ids are threaded through the recursion: every normal form is interned
+   exactly once — when residuation first produces it — and every probe
+   below is an int-pair hash, never a structure walk. *)
+let rec guard_shared_ids (d : Nf.t) d_id (e : Literal.t) e_id =
+  let key = (d_id, e_id) in
+  match Intern.Pair_tbl.find_opt guard_tbl key with
+  | Some g -> g
+  | None ->
+      let gamma_de = gamma_shared d d_id e in
+      let rde, _ = Residue.nf_interned d d_id e e_id in
+      let first =
+        Guard.conj (Guard.will_nf rde)
+          (Guard.conj_all (List.map Guard.hasnt gamma_de))
+      in
+      let branch f =
+        let rdf, rdf_id = Residue.nf_interned d d_id f (Intern.literal f) in
+        Guard.conj (Guard.has f) (guard_shared_ids rdf rdf_id e e_id)
+      in
+      let g = Guard.sum_all (first :: List.map branch gamma_de) in
+      Intern.Pair_tbl.add guard_tbl key g;
+      g
+
+let guard_shared d e = guard_shared_ids d (Intern.nf d) e (Intern.literal e)
+
+let guard_nf d e =
+  if Intern.enabled () then guard_shared d e else guard_nf_naive d e
+
 let guard d e = guard_nf (Nf.of_expr d) e
+let guard_naive d e = guard_nf_naive (Nf.of_expr d) e
 
 let mentions d e =
   Literal.Set.mem e (Expr.literals d)

@@ -10,7 +10,7 @@ let make lits =
   if distinct Symbol.Set.empty lits then Some lits else None
 
 let top = []
-let is_top t = t = []
+let is_top t = List.is_empty t
 let mem_literal lit t = List.exists (Literal.equal lit) t
 let mem_symbol sym t = List.exists (fun l -> Symbol.equal (Literal.symbol l) sym) t
 

@@ -9,7 +9,15 @@ type ctx = {
   stats : Wf_sim.Stats.t;
 }
 
-type parked = { pol : Literal.polarity; via_trigger : bool; guard : Guard.t }
+type parked = {
+  pol : Literal.polarity;
+  via_trigger : bool;
+  guard : Guard.t;
+  watch : Symbol.Set.t; (* symbols whose news can move this attempt *)
+}
+
+let park ~pol ~via_trigger guard =
+  { pol; via_trigger; guard; watch = Guard.symbols guard }
 
 type t = {
   sym : Symbol.t;
@@ -190,23 +198,23 @@ let do_fire ctx t (p : parked) =
   release_all ctx t
 
 let rec try_fire ctx t (p : parked) =
-  if not (List.mem p t.parked) then ()
+  if not (List.memq p t.parked) then ()
   else
     match t.decided_pol with
     | Some pol when pol = p.pol ->
-        t.parked <- List.filter (fun q -> q <> p) t.parked
+        t.parked <- List.filter (fun q -> q != p) t.parked
     | Some _ ->
-        t.parked <- List.filter (fun q -> q <> p) t.parked;
+        t.parked <- List.filter (fun q -> q != p) t.parked;
         if not p.via_trigger then ctx.reject (lit t p.pol)
     | None -> (
         if t.holder <> None then () (* wait for release *)
         else
           match Knowledge.status ~reserved:t.reserved t.knowledge p.guard with
           | Knowledge.True ->
-              t.parked <- List.filter (fun q -> q <> p) t.parked;
+              t.parked <- List.filter (fun q -> q != p) t.parked;
               do_fire ctx t p
           | Knowledge.False ->
-              t.parked <- List.filter (fun q -> q <> p) t.parked;
+              t.parked <- List.filter (fun q -> q != p) t.parked;
               if (attr_of t p.pol).Attribute.rejectable then begin
                 if not p.via_trigger then ctx.reject (lit t p.pol)
               end
@@ -241,7 +249,7 @@ and grant_or_defer ctx t (pol, requester, offers) =
           when pol = Literal.Neg
                && Symbol.compare (Literal.symbol requester) t.sym < 0
                && (attr_of t p.pol).Attribute.rejectable ->
-            t.parked <- List.filter (fun q -> q <> p) t.parked;
+            t.parked <- List.filter (fun q -> q != p) t.parked;
             Wf_sim.Stats.incr ctx.stats "sacrificed_attempts";
             ctx.reject (lit t p.pol);
             true
@@ -269,7 +277,7 @@ and grant_or_defer ctx t (pol, requester, offers) =
             | Some p -> try_fire ctx t p
             | None ->
                 (* Triggerable and enabled: cause the event now. *)
-                let p = { pol; via_trigger = true; guard = guard_of t pol } in
+                let p = park ~pol ~via_trigger:true (guard_of t pol) in
                 t.parked <- p :: t.parked;
                 try_fire ctx t p)
         | Knowledge.False -> Wf_sim.Stats.incr ctx.stats "promises_refused"
@@ -292,8 +300,7 @@ and grant_or_defer ctx t (pol, requester, offers) =
                 if existing = None && triggerable then begin
                   (* Commit to eventually triggering it. *)
                   t.parked <-
-                    { pol; via_trigger = true; guard = guard_of t pol }
-                    :: t.parked
+                    park ~pol ~via_trigger:true (guard_of t pol) :: t.parked
                 end
             | Knowledge.False | Knowledge.Unknown -> defer ())
       end
@@ -329,16 +336,25 @@ and check_trigger_demand ctx t =
     in
     if demanded then begin
       t.trigger_engaged <- true;
-      let p =
-        { pol = Literal.Pos; via_trigger = true; guard = guard_of t Literal.Pos }
-      in
+      let p = park ~pol:Literal.Pos ~via_trigger:true (guard_of t Literal.Pos) in
       t.parked <- p :: t.parked;
       try_fire ctx t p
     end
   end
 
-and re_evaluate ctx t =
-  List.iter (fun p -> try_fire ctx t p) t.parked;
+and re_evaluate ?touched ctx t =
+  (* [touched] gates the parked scan: news about a symbol can only move
+     attempts whose guard mentions it ([Knowledge.status] reads the
+     knowledge at the guard's symbols only, and [pursue] only acts on
+     them).  News about our own symbol decides every attempt, so it
+     always rescans.  Deferred grants and trigger demand involve other
+     parties' symbols and stay unconditional. *)
+  (match touched with
+  | Some sym when not (Symbol.equal sym t.sym) ->
+      List.iter
+        (fun p -> if Symbol.Set.mem sym p.watch then try_fire ctx t p)
+        t.parked
+  | _ -> List.iter (fun p -> try_fire ctx t p) t.parked);
   let grants = t.deferred_grants in
   t.deferred_grants <- [];
   List.iter (fun g -> grant_or_defer ctx t g) grants;
@@ -402,20 +418,18 @@ let attempt ?(entailed = Guard.top) ctx t pol =
   | Some d when d = pol -> () (* already occurred *)
   | Some _ -> ctx.reject (lit t pol)
   | None ->
-      let p =
-        { pol; via_trigger = false; guard = Guard.conj (guard_of t pol) entailed }
-      in
+      let p = park ~pol ~via_trigger:false (Guard.conj (guard_of t pol) entailed) in
       if List.exists (fun q -> q.pol = pol && not q.via_trigger) t.parked then ()
       else begin
         let attr = attr_of t pol in
         t.parked <- p :: t.parked;
         try_fire ctx t p;
-        if List.mem p t.parked then re_evaluate ctx t;
+        if List.memq p t.parked then re_evaluate ctx t;
         (* A non-delayable attempt must be decided immediately: if it is
            still parked (guard Unknown), reject it when possible, force
            it through otherwise. *)
-        if (not attr.Attribute.delayable) && List.mem p t.parked then begin
-          t.parked <- List.filter (fun q -> q <> p) t.parked;
+        if (not attr.Attribute.delayable) && List.memq p t.parked then begin
+          t.parked <- List.filter (fun q -> q != p) t.parked;
           if attr.Attribute.rejectable then ctx.reject (lit t pol)
           else begin
             Wf_sim.Stats.incr ctx.stats "forced_violations";
@@ -425,6 +439,10 @@ let attempt ?(entailed = Guard.top) ctx t pol =
       end
 
 let note_occurred ctx t l ~seqno =
+  (* If reservations were backed off, any parked attempt may retry them
+     once the backoff clears below, so the gated rescan is off the
+     table. *)
+  let had_backoff = not (Symbol.Set.is_empty t.reserve_backoff) in
   (if Symbol.equal (Literal.symbol l) t.sym then begin
      t.decided_pol <- Some l.Literal.pol;
      t.holder <- None
@@ -441,7 +459,8 @@ let note_occurred ctx t l ~seqno =
   (match t.reserve_inflight with
   | Some sym when Symbol.equal sym (Literal.symbol l) -> t.reserve_inflight <- None
   | _ -> ());
-  re_evaluate ctx t
+  if had_backoff then re_evaluate ctx t
+  else re_evaluate ~touched:(Literal.symbol l) ctx t
 
 let handle ctx t msg =
   match msg with
@@ -455,7 +474,7 @@ let handle ctx t msg =
       | _ -> note_occurred ctx t l ~seqno)
   | Messages.Promise { lit = l; _ } ->
       t.knowledge <- Knowledge.promised l t.knowledge;
-      re_evaluate ctx t
+      re_evaluate ~touched:(Literal.symbol l) ctx t
   | Messages.Promise_request { target; requester; offers } ->
       if Symbol.equal (Literal.symbol target) t.sym then
         grant_or_defer ctx t (target.Literal.pol, requester, offers)
@@ -468,7 +487,7 @@ let handle ctx t msg =
       t.reserved <- Symbol.Set.add sym t.reserved;
       t.reserve_queue <- List.filter (fun s -> not (Symbol.equal s sym)) t.reserve_queue;
       advance_reservations ctx t;
-      re_evaluate ctx t
+      re_evaluate ~touched:sym ctx t
   | Messages.Reserve_denied { sym; _ } ->
       (match t.reserve_inflight with
       | Some s when Symbol.equal s sym -> t.reserve_inflight <- None

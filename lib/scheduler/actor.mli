@@ -74,9 +74,14 @@ val note_occurred : ctx -> t -> Literal.t -> seqno:int -> unit
     event's); assimilate and re-evaluate parked work. *)
 
 val handle : ctx -> t -> Messages.t -> unit
-val re_evaluate : ctx -> t -> unit
+
+val re_evaluate : ?touched:Symbol.t -> ctx -> t -> unit
 (** Re-examine parked attempts, deferred promise grants, and trigger
-    demand; called after every knowledge change. *)
+    demand; called after every knowledge change.  [touched] names the
+    one symbol the triggering message was about: parked attempts whose
+    guard does not mention it are skipped (their status cannot have
+    changed).  News about the actor's own symbol always rescans
+    everything; omit [touched] when more than one thing changed. *)
 
 val force_reject_parked : ctx -> t -> unit
 (** End-of-run: reject whatever is still parked. *)

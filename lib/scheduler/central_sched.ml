@@ -31,6 +31,7 @@ type msg =
 
 type dep_state = {
   dep : Expr.t;
+  lits : Literal.Set.t; (* Expr.literals dep, precomputed: [mentions] is hot *)
   automaton : Automaton.t;
   mutable state : Automaton.state;
 }
@@ -57,7 +58,7 @@ let central_site = 0
 let stats rt = Wf_sim.Netsim.stats rt.net
 let decided rt sym = Hashtbl.mem rt.decided_set sym
 
-let mentions dep lit = Literal.Set.mem lit (Expr.literals dep)
+let mentions ds lit = Literal.Set.mem lit ds.lits
 
 (* Is the event acceptable right now: every affected residual, stepped
    by the event and then by the complements its transition entails,
@@ -68,7 +69,7 @@ let acceptable rt lit entailed =
       let next =
         List.fold_left
           (fun st l ->
-            if mentions ds.dep l then Automaton.step ds.automaton st l else st)
+            if mentions ds l then Automaton.step ds.automaton st l else st)
           ds.state (lit :: entailed)
       in
       Automaton.can_complete ds.automaton next)
@@ -87,10 +88,10 @@ let obligations_after rt lit entailed =
       let next =
         List.fold_left
           (fun st l ->
-            if mentions ds.dep l then Automaton.step ds.automaton st l else st)
+            if mentions ds l then Automaton.step ds.automaton st l else st)
           ds.state (lit :: entailed)
       in
-      if next <> ds.state || mentions ds.dep lit then
+      if next <> ds.state || mentions ds lit then
         Literal.Set.union acc (Automaton.required_literals ds.automaton next)
       else acc)
     Literal.Set.empty rt.deps
@@ -110,7 +111,7 @@ let obligations_safe rt ~assumed lit entailed =
 let feasible rt lit =
   List.for_all
     (fun ds ->
-      if not (mentions ds.dep lit) then true
+      if not (mentions ds lit) then true
       else begin
         let aut = ds.automaton in
         let n = Automaton.num_states aut in
@@ -150,7 +151,7 @@ let rec record rt lit =
     Wf_sim.Stats.incr (stats rt) "occurrences";
     List.iter
       (fun ds ->
-        if mentions ds.dep lit then begin
+        if mentions ds lit then begin
           ds.state <- Automaton.step ds.automaton ds.state lit;
           if Automaton.is_dead ds.automaton ds.state then
             Wf_sim.Stats.incr (stats rt) "dead_residuals"
@@ -296,7 +297,13 @@ let run ?(config = default_config) wf =
       chan;
       deps =
         List.map
-          (fun d -> { dep = d; automaton = Automaton.build d; state = 0 })
+          (fun d ->
+            {
+              dep = d;
+              lits = Expr.literals d;
+              automaton = Automaton.build d;
+              state = 0;
+            })
           deps_exprs;
       agents = Hashtbl.create 16;
       agent_site = Hashtbl.create 16;

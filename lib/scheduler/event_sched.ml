@@ -43,6 +43,7 @@ type runtime = {
   chan : (Symbol.t * Messages.t) Channel.t;
   compiled : Compile.t;
   actors : (Symbol.t, Actor.t) Hashtbl.t;
+  ctxs : (Symbol.t, Actor.ctx) Hashtbl.t; (* memoized per-actor contexts *)
   agents : (string, Agent.t) Hashtbl.t;
   agent_of_symbol : (Symbol.t, string) Hashtbl.t;
   subscriptions : (Symbol.t, Symbol.Set.t) Hashtbl.t;
@@ -65,19 +66,30 @@ let actor_of rt sym =
 let subscribers_of rt sym =
   Option.value (Hashtbl.find_opt rt.subscriptions sym) ~default:Symbol.Set.empty
 
-(* Per-actor context: messages originate at the actor's site. *)
+(* Per-actor context: messages originate at the actor's site.  The
+   record and its closures are allocated once per actor, not per
+   message. *)
 let rec ctx_for rt (actor : Actor.t) : Actor.ctx =
-  {
-    Actor.send =
-      (fun dst msg ->
-        let dst_site = Actor.site (actor_of rt dst) in
-        Channel.send rt.chan ~src:(Actor.site actor) ~dst:dst_site (dst, msg);
-        Wf_sim.Stats.incr (stats rt) ("msg_" ^ Messages.label msg));
-    Actor.fire = (fun lit -> fire rt lit);
-    Actor.reject = (fun lit -> reject rt lit);
-    Actor.trigger_task = (fun lit -> trigger_task rt lit);
-    Actor.stats = stats rt;
-  }
+  let sym = Actor.symbol actor in
+  match Hashtbl.find_opt rt.ctxs sym with
+  | Some ctx -> ctx
+  | None ->
+      let ctx =
+        {
+          Actor.send =
+            (fun dst msg ->
+              let dst_site = Actor.site (actor_of rt dst) in
+              Channel.send rt.chan ~src:(Actor.site actor) ~dst:dst_site
+                (dst, msg);
+              Wf_sim.Stats.incr (stats rt) ("msg_" ^ Messages.label msg));
+          Actor.fire = (fun lit -> fire rt lit);
+          Actor.reject = (fun lit -> reject rt lit);
+          Actor.trigger_task = (fun lit -> trigger_task rt lit);
+          Actor.stats = stats rt;
+        }
+      in
+      Hashtbl.add rt.ctxs sym ctx;
+      ctx
 
 and fire rt lit =
   let sym = Literal.symbol lit in
@@ -209,6 +221,7 @@ let build cfg wf =
       chan;
       compiled;
       actors = Hashtbl.create 64;
+      ctxs = Hashtbl.create 64;
       agents = Hashtbl.create 16;
       agent_of_symbol = Hashtbl.create 64;
       subscriptions = Hashtbl.create 64;

@@ -5,6 +5,10 @@ type outcome = Accepted | Parked | Rejected | Already
 type t = {
   deps : Ptemplate.t list;
   templates : (int * Ptemplate.atom * Guard.t) list;
+  watch_bases : (Ptemplate.atom * string list) list;
+      (* per positive atom: base names its guard template mentions — an
+         occurrence with a known token and an unrelated base cannot
+         change the atom's instance statuses *)
   mutable know : Knowledge.t;
   mutable seqno : int;
   mutable occurrences : Literal.t list; (* newest first *)
@@ -31,9 +35,24 @@ let create deps =
              (Ptemplate.atoms dep))
          deps)
   in
+  let watch_bases =
+    List.filter_map
+      (fun (_, (atom : Ptemplate.atom), g) ->
+        if atom.Ptemplate.pol <> Literal.Pos then None
+        else
+          Some
+            ( atom,
+              Symbol.Set.fold
+                (fun sym acc ->
+                  let b = Symbol.base sym in
+                  if List.mem b acc then acc else b :: acc)
+                (Guard.symbols g) [] ))
+      templates
+  in
   {
     deps;
     templates;
+    watch_bases;
     know = Knowledge.empty;
     seqno = 0;
     occurrences = [];
@@ -163,13 +182,32 @@ let record t lit =
   t.know <- Knowledge.occurred lit ~seqno:t.seqno t.know;
   t.occurrences <- lit :: t.occurrences
 
-let rec retry_parked t =
+(* Can news about [base] change [decide t sym]?  [decide] evaluates the
+   guard templates of the atoms matching [sym], and every knowledge
+   lookup those evaluations make is at a symbol whose base comes from
+   the template guard — so an occurrence with an unrelated base leaves
+   the decision as it was.  (Occurrences introducing a never-seen token
+   are excluded by the caller: a fresh token enlarges the enumerated
+   instance combos themselves.) *)
+let relevant t sym base =
+  List.exists
+    (fun ((atom : Ptemplate.atom), bases) ->
+      Option.is_some (Ptemplate.match_symbol atom sym)
+      && List.exists (String.equal base) bases)
+    t.watch_bases
+
+let rec retry_parked ?touched t =
   let parked = t.parked_syms in
   t.parked_syms <- [];
   let still =
     List.filter
       (fun sym ->
         if Knowledge.decided t.know sym then false
+        else if
+          match touched with
+          | Some base -> not (relevant t sym base)
+          | None -> false
+        then true (* unaffected: stays parked without re-deciding *)
         else
           match decide t sym with
           | Knowledge.True ->
@@ -200,8 +238,19 @@ let attempt t sym =
 
 let occurred t lit =
   if not (Knowledge.decided t.know (Literal.symbol lit)) then begin
+    let sym = Literal.symbol lit in
+    (* A token never seen before enlarges the instance enumeration for
+       every template with free variables, so only gate the retry when
+       all of the occurrence's tokens are already known. *)
+    let fresh_token =
+      let known = known_values t in
+      List.exists
+        (fun arg -> not (is_marker arg) && not (List.mem arg known))
+        (Symbol.args sym)
+    in
     record t lit;
-    retry_parked t
+    if fresh_token then retry_parked t
+    else retry_parked ~touched:(Symbol.base sym) t
   end
 
 let parked t = t.parked_syms

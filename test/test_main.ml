@@ -17,4 +17,5 @@ let () =
       ("properties", Test_props.suite);
       ("parametrized", Test_param.suite);
       ("language", Test_lang.suite);
+      ("performance", Test_perf.suite);
     ]

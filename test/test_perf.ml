@@ -1,0 +1,165 @@
+(* Differential suites for the performance layer: the interned/memoized
+   kernels must agree with the naive reference implementations that
+   remain the oracle — structurally wherever the optimized path promises
+   structural equality (residuation, guard synthesis, automaton
+   construction), and at worst up to semantic equivalence for the
+   indexed-assimilation fast path (see Guard.Indexed's contract). *)
+
+open Wf_core
+open Helpers
+
+(* --- interning ----------------------------------------------------------- *)
+
+let test_intern_ids () =
+  let t1 = [ lit "e"; lit "~f" ] and t2 = [ lit "e"; lit "~f" ] in
+  check Alcotest.int "equal terms intern to the same id" (Intern.term t1)
+    (Intern.term t2);
+  checkb "distinct terms intern apart"
+    (Intern.term [ lit "e" ] <> Intern.term [ lit "f" ]);
+  checkb "term id differs from literal id"
+    (Intern.literal (lit "e") <> Intern.term [ lit "f" ]);
+  let n1 = Nf.of_expr (Expr.choice (Expr.event "e") (Expr.event "f")) in
+  let n2 = Nf.of_expr (Expr.choice (Expr.event "f") (Expr.event "e")) in
+  check Alcotest.int "normal forms intern by structure" (Intern.nf n1)
+    (Intern.nf n2);
+  checkb "stats report live tables"
+    (List.length (Intern.stats ()) = 4
+    && List.for_all (fun (_, n) -> n >= 0) (Intern.stats ()))
+
+let test_clear_memos () =
+  let d = Expr.choice (Expr.seq e f) ng in
+  let before = Synth.guard d (lit "e") in
+  Intern.clear_memos ();
+  let after = Synth.guard d (lit "e") in
+  checkb "cleared memos recompute the same guard" (Guard.equal before after)
+
+(* --- memoized residuation ------------------------------------------------ *)
+
+let residue_agrees =
+  qprop "memoized residuation = naive residuation"
+    QCheck2.Gen.(pair gen_expr gen_literal)
+    (fun (d, l) ->
+      let nf_ = Nf.of_expr d in
+      Nf.equal (Residue.nf nf_ l) (Residue.nf_naive nf_ l))
+
+let residue_disabled_agrees =
+  qprop "residuation with interning disabled = naive"
+    QCheck2.Gen.(pair gen_expr gen_literal)
+    (fun (d, l) ->
+      let nf_ = Nf.of_expr d in
+      Intern.set_enabled false;
+      let off = Residue.nf nf_ l in
+      Intern.set_enabled true;
+      Nf.equal off (Residue.nf_naive nf_ l))
+
+(* --- shared-memo guard synthesis ----------------------------------------- *)
+
+let guard_agrees =
+  qprop "shared-memo guard synthesis = naive"
+    QCheck2.Gen.(pair gen_expr gen_literal)
+    (fun (d, l) -> Guard.equal (Synth.guard d l) (Synth.guard_naive d l))
+
+let all_guards_agree =
+  qprop ~count:100 "all_guards under one shared memo = per-literal naive"
+    gen_expr_pair
+    (fun (d1, d2) ->
+      let deps = [ d1; d2 ] in
+      List.for_all
+        (fun (l, g) ->
+          Guard.equal g
+            (Guard.conj_all
+               (List.filter_map
+                  (fun d ->
+                    if Literal.Set.mem l (Expr.literals d) then
+                      Some (Synth.guard_naive d l)
+                    else None)
+                  deps)))
+        (Synth.all_guards deps))
+
+(* --- automaton construction ---------------------------------------------- *)
+
+let same_automaton a b =
+  Automaton.num_states a = Automaton.num_states b
+  && List.equal Literal.equal (Automaton.alphabet a) (Automaton.alphabet b)
+  && List.for_all2
+       (fun (s1, l1, d1) (s2, l2, d2) ->
+         s1 = s2 && Literal.equal l1 l2 && d1 = d2)
+       (Automaton.transitions a) (Automaton.transitions b)
+  && List.for_all
+       (fun s ->
+         Nf.equal (Automaton.state_nf a s) (Automaton.state_nf b s)
+         && Automaton.is_accepting a s = Automaton.is_accepting b s
+         && Automaton.is_dead a s = Automaton.is_dead b s
+         && Automaton.can_complete a s = Automaton.can_complete b s)
+       (List.init (Automaton.num_states a) Fun.id)
+
+let automaton_agrees =
+  qprop "fast automaton build = naive build (states, edges, flags)" gen_expr
+    (fun d -> same_automaton (Automaton.build d) (Automaton.build_naive d))
+
+let automaton_disabled_is_naive =
+  qprop ~count:50 "build with interning disabled = naive build" gen_expr
+    (fun d ->
+      Intern.set_enabled false;
+      let off = Automaton.build d in
+      Intern.set_enabled true;
+      same_automaton off (Automaton.build_naive d))
+
+(* --- indexed assimilation ------------------------------------------------ *)
+
+(* Random announcement streams: occurrences and promises of random
+   literals, applied to a synthesized (hence realistic) guard.  The
+   indexed walk must match the naive fold structurally on watched
+   symbols; unwatched announcements may leave latent merges the naive
+   renormalization would perform, so fall back to semantic equivalence
+   (exactly the contract Guard.Indexed documents). *)
+let gen_news = QCheck2.Gen.(list_size (int_bound 6) (pair bool gen_literal))
+
+let assimilation_agrees =
+  qprop "indexed assimilation = naive assimilation (up to equivalence)"
+    QCheck2.Gen.(triple gen_expr gen_literal gen_news)
+    (fun (d, l, news) ->
+      let g0 = Synth.guard d l in
+      let naive =
+        List.fold_left
+          (fun g (occ, x) ->
+            if occ then Guard.assimilate_occurred x g
+            else Guard.assimilate_promise x g)
+          g0 news
+      in
+      let indexed =
+        List.fold_left
+          (fun ix (occ, x) ->
+            if occ then Guard.Indexed.occurred x ix
+            else Guard.Indexed.promised x ix)
+          (Guard.Indexed.of_guard g0)
+          news
+      in
+      let got = Guard.Indexed.to_guard indexed in
+      Guard.equal got naive || Guard.equivalent ~alphabet:alpha_efg got naive)
+
+let test_unwatched_is_noop () =
+  let g = Synth.guard (Expr.choice (Expr.seq e f) ne) (lit "f") in
+  let ix = Guard.Indexed.of_guard g in
+  let z = lit "z" in
+  checkb "unwatched symbol is not watched"
+    (not (Guard.Indexed.watches_occurred ix (Literal.symbol z)));
+  checkb "unwatched occurrence returns the index physically unchanged"
+    (Guard.Indexed.occurred z ix == ix);
+  checkb "unwatched promise returns the index physically unchanged"
+    (Guard.Indexed.promised z ix == ix)
+
+let suite =
+  [
+    Alcotest.test_case "interned ids are canonical" `Quick test_intern_ids;
+    Alcotest.test_case "clear_memos preserves results" `Quick test_clear_memos;
+    residue_agrees;
+    residue_disabled_agrees;
+    guard_agrees;
+    all_guards_agree;
+    automaton_agrees;
+    automaton_disabled_is_naive;
+    assimilation_agrees;
+    Alcotest.test_case "unwatched announcements are no-ops" `Quick
+      test_unwatched_is_noop;
+  ]
