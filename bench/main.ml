@@ -6,9 +6,11 @@
 
    Flags:
      --scaling   run only the CORE before/after scaling suite
+     --crash     run only the crash-recovery overhead suite
      --smoke     small configs and quotas (CI smoke job)
-     --json [F]  write the CORE suite's numbers to F (default
-                 BENCH_CORE.json in the current directory) *)
+     --json [F]  write the selected suite's numbers to F (default
+                 BENCH_CORE.json, or BENCH_CRASH.json with --crash,
+                 in the current directory) *)
 
 open Wf_core
 open Wf_tasks
@@ -361,6 +363,96 @@ let bench_faults () =
            "both satisfied"
          else "VIOLATION"))
     [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
+
+(* --- CRASH: crash-recovery overhead ----------------------------------------- *)
+
+type crash_row = {
+  c_sched : string;
+  c_prob : float;
+  c_makespan : float;
+  c_messages : int;
+  c_crashes : int;
+  c_recoveries : int;
+  c_replayed : int;
+  c_satisfied : bool;
+}
+
+(* Crash-recovery overhead: the same workflow under growing crash
+   probability.  Overhead shows up as makespan stretch (restart delays,
+   retransmissions into crash windows) and message inflation; the
+   recovery columns count actor/center rebuilds and the journal entries
+   replayed to get there.  Every run must still satisfy all
+   dependencies — recovery is exercised, not merely survived. *)
+let bench_crash ?(smoke = false) () =
+  section "CRASH"
+    "Makespan and recovery work under increasing crash probability (travel)";
+  let n = if smoke then 2 else 5 in
+  let probs = if smoke then [ 0.0; 0.05 ] else [ 0.0; 0.02; 0.05; 0.1; 0.25 ] in
+  let faults_of prob =
+    {
+      Wf_sim.Netsim.no_faults with
+      crash_on_deliver = prob;
+      crash_on_send = prob /. 2.0;
+      restart_delay = 2.0;
+    }
+  in
+  Printf.printf "%6s %-12s | %9s %6s %7s %7s %8s | %s\n" "prob" "scheduler"
+    "makespan" "msgs" "crashes" "recover" "replayed" "ok";
+  let rows = ref [] in
+  List.iter
+    (fun prob ->
+      let wf = travel_wf ~n () in
+      let faults = faults_of prob in
+      let count (r : Event_sched.result) name =
+        Wf_sim.Stats.count r.Event_sched.stats name
+      in
+      let emit c_sched (r : Event_sched.result) =
+        let row =
+          {
+            c_sched;
+            c_prob = prob;
+            c_makespan = r.Event_sched.makespan;
+            c_messages = count r "messages_sent";
+            c_crashes = count r "net_crashes";
+            c_recoveries =
+              count r "actor_recoveries" + count r "center_recoveries";
+            c_replayed =
+              count r "replayed_entries" + count r "center_replayed_entries";
+            c_satisfied = r.Event_sched.satisfied;
+          }
+        in
+        rows := row :: !rows;
+        Printf.printf "%6.2f %-12s | %9.1f %6d %7d %7d %8d | %s\n%!" prob
+          c_sched row.c_makespan row.c_messages row.c_crashes row.c_recoveries
+          row.c_replayed
+          (if row.c_satisfied then "satisfied" else "VIOLATION")
+      in
+      emit "distributed"
+        (Event_sched.run ~config:{ Event_sched.default_config with faults } wf);
+      emit "central"
+        (Central_sched.run
+           ~config:{ Central_sched.default_config with faults }
+           wf))
+    probs;
+  List.rev !rows
+
+let write_crash_json path ~smoke rows =
+  let oc = open_out path in
+  let row_json r =
+    Printf.sprintf
+      "{\"scheduler\": \"%s\", \"crash_prob\": %.2f, \"makespan\": %.1f, \
+       \"messages\": %d, \"crashes\": %d, \"recoveries\": %d, \
+       \"replayed_entries\": %d, \"satisfied\": %b}"
+      r.c_sched r.c_prob r.c_makespan r.c_messages r.c_crashes r.c_recoveries
+      r.c_replayed r.c_satisfied
+  in
+  Printf.fprintf oc "{\n  \"suite\": \"crash-recovery\",\n  \"mode\": \"%s\",\n"
+    (if smoke then "smoke" else "full");
+  Printf.fprintf oc "  \"all_satisfied\": %b,\n"
+    (List.for_all (fun r -> r.c_satisfied) rows);
+  Printf.fprintf oc "  \"results\": [\n    %s\n  ]\n}\n"
+    (String.concat ",\n    " (List.map row_json rows));
+  close_out oc
 
 (* --- E13/E14: parametrized scheduling --------------------------------------- *)
 
@@ -805,6 +897,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let smoke = List.mem "--smoke" args in
   let scaling_only = List.mem "--scaling" args in
+  let crash_only = List.mem "--crash" args in
   let json_path =
     let rec find = function
       | "--json" :: next :: _ when String.length next > 0 && next.[0] <> '-' ->
@@ -818,26 +911,38 @@ let () =
   Printf.printf
     "Reproduction benches: Singh, \"Synthesizing Distributed Constrained \
      Events from Transactional Workflow Specifications\" (ICDE 1996)\n";
-  if not scaling_only then begin
-    bench_universe ();
-    bench_automata ();
-    bench_figure3 ();
-    bench_guards ();
-    bench_execution ();
-    bench_travel ();
-    bench_two_phase ();
-    bench_latency ();
-    bench_faults ();
-    bench_param ();
-    bench_precompile ();
-    bench_scalability ();
-    bench_synthesis_scaling ();
-    bench_fastpath ()
+  if crash_only then begin
+    let rows = bench_crash ~smoke () in
+    match json_path with
+    | Some path ->
+        let path = if path = "BENCH_CORE.json" then "BENCH_CRASH.json" else path in
+        write_crash_json path ~smoke rows;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  end
+  else begin
+    if not scaling_only then begin
+      bench_universe ();
+      bench_automata ();
+      bench_figure3 ();
+      bench_guards ();
+      bench_execution ();
+      bench_travel ();
+      bench_two_phase ();
+      bench_latency ();
+      bench_faults ();
+      bench_crash ~smoke () |> ignore;
+      bench_param ();
+      bench_precompile ();
+      bench_scalability ();
+      bench_synthesis_scaling ();
+      bench_fastpath ()
+    end;
+    let rows = bench_core ~smoke () in
+    match json_path with
+    | Some path ->
+        write_core_json path ~smoke rows;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
   end;
-  let rows = bench_core ~smoke () in
-  (match json_path with
-  | Some path ->
-      write_core_json path ~smoke rows;
-      Printf.printf "wrote %s\n" path
-  | None -> ());
   Printf.printf "\nAll artifacts regenerated.\n"

@@ -68,7 +68,8 @@ let parse_partition s =
   | _ -> fail ()
 
 let run path scheduler seed latency jitter think verbose check_gen drop_rate
-    duplicate_rate reorder_rate reorder_window partition_specs =
+    duplicate_rate reorder_rate reorder_window partition_specs crash_prob
+    crash_on_send restart_delay max_crashes checkpoint_every =
   let { Wf_lang.Elaborate.def; templates } = Wf_lang.Elaborate.load_file path in
   if templates <> [] then begin
     if def.Wf_tasks.Workflow_def.deps <> [] then
@@ -84,6 +85,10 @@ let run path scheduler seed latency jitter think verbose check_gen drop_rate
       reorder_rate;
       reorder_window;
       partitions = List.map parse_partition partition_specs;
+      crash_on_deliver = crash_prob;
+      crash_on_send;
+      restart_delay;
+      max_crashes;
     }
   in
   let r =
@@ -98,6 +103,7 @@ let run path scheduler seed latency jitter think verbose check_gen drop_rate
               jitter;
               think_time = think;
               check_generates = check_gen;
+              checkpoint_every;
               faults;
             }
           def
@@ -110,6 +116,7 @@ let run path scheduler seed latency jitter think verbose check_gen drop_rate
               base_latency = latency;
               jitter;
               think_time = think;
+              checkpoint_every;
               faults;
             }
           def
@@ -154,9 +161,29 @@ let partitions =
   Arg.(value & opt_all string [] & info [ "partition" ] ~docv:"FROM:UNTIL:A/B"
          ~doc:"Cut all links between site groups A and B (comma-separated site ids) during the window [FROM, UNTIL). Repeatable, e.g. $(b,--partition 5:20:0/1,2).")
 
+let crash_prob =
+  Arg.(value & opt float 0.0 & info [ "crash-prob" ] ~docv:"P"
+         ~doc:"Probability that a site crashes right after handling a remote delivery. A crashed site drops deliveries until it restarts; recovered actors replay their write-ahead journal.")
+
+let crash_on_send =
+  Arg.(value & opt float 0.0 & info [ "crash-on-send" ] ~docv:"P"
+         ~doc:"Probability that a site crashes right after a remote send.")
+
+let restart_delay =
+  Arg.(value & opt float 5.0 & info [ "restart-delay" ] ~docv:"T"
+         ~doc:"Mean of the exponential restart delay after a crash; 0 restarts at the same virtual instant.")
+
+let max_crashes =
+  Arg.(value & opt int 10_000 & info [ "max-crashes" ] ~docv:"N"
+         ~doc:"Global budget of injected crashes, so even $(b,--crash-prob 1.0) terminates.")
+
+let checkpoint_every =
+  Arg.(value & opt int 32 & info [ "checkpoint-every" ] ~docv:"N"
+         ~doc:"Journal appends between state checkpoints: smaller means shorter replays after a crash, larger means cheaper appends.")
+
 let cmd =
   let doc = "execute a workflow by distributed guard evaluation" in
   Cmd.v (Cmd.info "wfsim" ~doc)
-    Term.(const run $ path $ scheduler $ seed $ latency $ jitter $ think $ verbose $ check_gen $ drop_rate $ duplicate_rate $ reorder_rate $ reorder_window $ partitions)
+    Term.(const run $ path $ scheduler $ seed $ latency $ jitter $ think $ verbose $ check_gen $ drop_rate $ duplicate_rate $ reorder_rate $ reorder_window $ partitions $ crash_prob $ crash_on_send $ restart_delay $ max_crashes $ checkpoint_every)
 
 let () = exit (Cmd.eval' cmd)

@@ -30,6 +30,7 @@ let seqno_of t sym =
   match fate_of t sym with Some (Occurred (_, n)) -> Some n | _ -> None
 
 let symbols t = List.map fst (Symbol.Map.bindings t)
+let equal a b = Symbol.Map.equal (fun (x : fate) y -> x = y) a b
 
 type status = True | False | Unknown
 

@@ -36,6 +36,10 @@ val decided : t -> Symbol.t -> bool
 val seqno_of : t -> Symbol.t -> int option
 val symbols : t -> Symbol.t list
 
+val equal : t -> t -> bool
+(** Field-by-field equality of the accumulated fates; used by the
+    recovery suite to compare a replayed actor against the original. *)
+
 type status = True | False | Unknown
 
 val product_status :

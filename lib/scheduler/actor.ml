@@ -207,9 +207,20 @@ let rec try_fire ctx t (p : parked) =
         t.parked <- List.filter (fun q -> q != p) t.parked;
         if not p.via_trigger then ctx.reject (lit t p.pol)
     | None -> (
-        if t.holder <> None then () (* wait for release *)
+        let status = Knowledge.status ~reserved:t.reserved t.knowledge p.guard in
+        (* While our symbol is reserved we defer firing — but a guard
+           that has collapsed to 0 can never recover, so a rejectable
+           attempt is rejected deterministically even while held
+           (parking it "until release" could park it forever when the
+           holder fired through us and will never release). *)
+        if
+          t.holder <> None
+          && not
+               (status = Knowledge.False
+               && (attr_of t p.pol).Attribute.rejectable)
+        then () (* wait for release *)
         else
-          match Knowledge.status ~reserved:t.reserved t.knowledge p.guard with
+          match status with
           | Knowledge.True ->
               t.parked <- List.filter (fun q -> q != p) t.parked;
               do_fire ctx t p
@@ -501,6 +512,17 @@ let handle ctx t msg =
         drain_waiters ctx t;
         re_evaluate ctx t
       end
+  | Messages.Recovered { sym; _ } -> (
+      (* A watched peer crashed and replayed its journal.  Its durable
+         state is intact, but announcements we sent while it was down
+         may have been given up on a lower layer; if our fate is
+         decided, re-announce it — the receiver's duplicate check
+         absorbs the copy if it already knew. *)
+      match (t.decided_pol, Knowledge.seqno_of t.knowledge t.sym) with
+      | Some pol, Some seqno ->
+          Wf_sim.Stats.incr ctx.stats "recovery_reannounces";
+          ctx.send sym (Messages.Announce { lit = lit t pol; seqno })
+      | _ -> ())
 
 let force_reject_parked ctx t =
   let parked = t.parked in
@@ -511,3 +533,124 @@ let force_reject_parked ctx t =
       Wf_sim.Stats.incr ctx.stats "parked_rejected_at_close")
     parked;
   release_all ctx t
+
+(* ---- Crash recovery -------------------------------------------------
+
+   The actor's state evolution is a deterministic function of the
+   sequence of inputs below: every entry point is one constructor, and
+   none of the [ctx] callbacks feeds anything back into the actor within
+   the same call.  That makes write-ahead journaling sufficient for
+   recovery — journal the input, apply it, and on restart replay the
+   journal against a fresh actor with a muted [ctx] (sends, fires, and
+   rejections already happened in the pre-crash incarnation; replaying
+   them would double side effects). *)
+
+type input =
+  | I_attempt of { pol : Literal.polarity; entailed : Guard.t }
+  | I_occurred of { lit : Literal.t; seqno : int }
+  | I_message of Messages.t
+  | I_close
+
+let apply ctx t = function
+  | I_attempt { pol; entailed } -> attempt ~entailed ctx t pol
+  | I_occurred { lit = l; seqno } -> note_occurred ctx t l ~seqno
+  | I_message m -> handle ctx t m
+  | I_close -> force_reject_parked ctx t
+
+let muted_ctx stats =
+  {
+    send = (fun _ _ -> ());
+    fire = ignore;
+    reject = ignore;
+    (* A muted trigger reports success: whether the pre-crash trigger
+       succeeded or faulted, the actor's own state ends up the same
+       (firing is a [ctx] effect, not a state change). *)
+    trigger_task = (fun _ -> true);
+    stats;
+  }
+
+type snapshot = {
+  s_knowledge : Knowledge.t;
+  s_reserved : Symbol.Set.t;
+  s_reserve_queue : Symbol.t list;
+  s_reserve_inflight : Symbol.t option;
+  s_reserve_backoff : Symbol.Set.t;
+  s_holder : Literal.t option;
+  s_waiters : Literal.t list;
+  s_parked : (Literal.polarity * bool * Guard.t) list;
+  s_decided_pol : Literal.polarity option;
+  s_promise_requested : Literal.Set.t;
+  s_deferred_grants : (Literal.polarity * Literal.t * Literal.t list) list;
+  s_trigger_engaged : bool;
+}
+
+let snapshot t =
+  {
+    s_knowledge = t.knowledge;
+    s_reserved = t.reserved;
+    s_reserve_queue = t.reserve_queue;
+    s_reserve_inflight = t.reserve_inflight;
+    s_reserve_backoff = t.reserve_backoff;
+    s_holder = t.holder;
+    s_waiters = t.waiters;
+    s_parked = List.map (fun p -> (p.pol, p.via_trigger, p.guard)) t.parked;
+    s_decided_pol = t.decided_pol;
+    s_promise_requested = t.promise_requested;
+    s_deferred_grants = t.deferred_grants;
+    s_trigger_engaged = t.trigger_engaged;
+  }
+
+let restore t s =
+  t.knowledge <- s.s_knowledge;
+  t.reserved <- s.s_reserved;
+  t.reserve_queue <- s.s_reserve_queue;
+  t.reserve_inflight <- s.s_reserve_inflight;
+  t.reserve_backoff <- s.s_reserve_backoff;
+  t.holder <- s.s_holder;
+  t.waiters <- s.s_waiters;
+  t.parked <-
+    List.map
+      (fun (pol, via_trigger, guard) -> park ~pol ~via_trigger guard)
+      s.s_parked;
+  t.decided_pol <- s.s_decided_pol;
+  t.promise_requested <- s.s_promise_requested;
+  t.deferred_grants <- s.s_deferred_grants;
+  t.trigger_engaged <- s.s_trigger_engaged
+
+let equal_option eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> eq x y
+  | _ -> false
+
+let equal_parked (pol_a, via_a, g_a) (pol_b, via_b, g_b) =
+  pol_a = pol_b && via_a = via_b && Guard.equal g_a g_b
+
+let equal_grant (pol_a, req_a, offers_a) (pol_b, req_b, offers_b) =
+  pol_a = pol_b && Literal.equal req_a req_b
+  && List.equal Literal.equal offers_a offers_b
+
+let equal_state a b =
+  let sa = snapshot a and sb = snapshot b in
+  Knowledge.equal sa.s_knowledge sb.s_knowledge
+  && Symbol.Set.equal sa.s_reserved sb.s_reserved
+  && List.equal Symbol.equal sa.s_reserve_queue sb.s_reserve_queue
+  && equal_option Symbol.equal sa.s_reserve_inflight sb.s_reserve_inflight
+  && Symbol.Set.equal sa.s_reserve_backoff sb.s_reserve_backoff
+  && equal_option Literal.equal sa.s_holder sb.s_holder
+  && List.equal Literal.equal sa.s_waiters sb.s_waiters
+  && List.equal equal_parked sa.s_parked sb.s_parked
+  && sa.s_decided_pol = sb.s_decided_pol
+  && Literal.Set.equal sa.s_promise_requested sb.s_promise_requested
+  && List.equal equal_grant sa.s_deferred_grants sb.s_deferred_grants
+  && Bool.equal sa.s_trigger_engaged sb.s_trigger_engaged
+
+let watched_symbols t =
+  let acc =
+    List.fold_left
+      (fun acc p -> Symbol.Set.union acc p.watch)
+      Symbol.Set.empty t.parked
+  in
+  let acc = Symbol.Set.union acc (Guard.symbols t.guard_pos) in
+  let acc = Symbol.Set.union acc (Guard.symbols t.guard_neg) in
+  Symbol.Set.remove t.sym acc

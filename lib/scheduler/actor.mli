@@ -85,3 +85,48 @@ val re_evaluate : ?touched:Symbol.t -> ctx -> t -> unit
 
 val force_reject_parked : ctx -> t -> unit
 (** End-of-run: reject whatever is still parked. *)
+
+(** {2 Crash recovery}
+
+    The actor's state evolution is a deterministic function of its
+    input sequence, so a write-ahead journal of {!input}s plus periodic
+    {!snapshot}s suffices to reconstruct the exact pre-crash state:
+    restore the latest snapshot into a fresh actor and {!apply} the
+    journal suffix under {!muted_ctx} (the pre-crash incarnation already
+    performed the side effects). *)
+
+type input =
+  | I_attempt of { pol : Literal.polarity; entailed : Guard.t }
+  | I_occurred of { lit : Literal.t; seqno : int }
+  | I_message of Messages.t
+  | I_close
+
+val apply : ctx -> t -> input -> unit
+(** Dispatch one input to the matching entry point ({!attempt},
+    {!note_occurred}, {!handle}, {!force_reject_parked}). *)
+
+val muted_ctx : Wf_sim.Stats.t -> ctx
+(** A context whose effects are no-ops (and whose trigger always
+    succeeds), for journal replay.  Pass a scratch {!Wf_sim.Stats.t} so
+    replay does not double-count the live run's counters. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture every mutable field.  Immutable configuration (guards,
+    attributes, demand automata) is re-derived from the spec on
+    recovery, not journaled.  Only call at a transition boundary —
+    never from within a [ctx] callback. *)
+
+val restore : t -> snapshot -> unit
+
+val equal_state : t -> t -> bool
+(** Field-by-field equality of the mutable state (parked attempts
+    compare by polarity, trigger provenance, and guard); the recovery
+    property suite checks [checkpoint + replay(suffix)] against the
+    pre-crash actor with this. *)
+
+val watched_symbols : t -> Symbol.Set.t
+(** Symbols (other than the actor's own) whose actors this one
+    observes: everything mentioned by its guards or parked attempts.
+    The recovery handshake sends {!Messages.Recovered} to these. *)

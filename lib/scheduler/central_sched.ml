@@ -7,6 +7,7 @@ type config = {
   jitter : float;
   think_time : float;
   max_steps : int;
+  checkpoint_every : int;
   faults : Wf_sim.Netsim.fault_config;
 }
 
@@ -17,6 +18,7 @@ let default_config =
     jitter = 0.2;
     think_time = 0.5;
     max_steps = 2_000_000;
+    checkpoint_every = 32;
     faults = Wf_sim.Netsim.no_faults;
   }
 
@@ -36,16 +38,38 @@ type dep_state = {
   mutable state : Automaton.state;
 }
 
+(* Journaled center inputs and the checkpointed volatile state.
+
+   The durable/volatile split: the occurrence log ([occurrences],
+   [seqno], [rejected]) is durable by assumption — it is the run's
+   ground truth, committed once per event.  The residual-automaton
+   states, parked attempts, trigger set, and decided view are volatile
+   and reconstructed after a crash by replaying the input journal
+   (checkpoint + suffix) with commits and sends muted. *)
+type c_input =
+  | C_attempt of Literal.t * Literal.t list
+  | C_occurred of Literal.t
+  | C_reject of Literal.t (* closing phase: evict a parked attempt *)
+
+type c_snapshot = {
+  cs_states : Automaton.state list; (* aligned with [deps] *)
+  cs_parked : (Literal.t * Literal.t list) list;
+  cs_triggered : Literal.Set.t;
+  cs_decided : Symbol.t list;
+}
+
 type runtime = {
   wf : Workflow_def.t;
   cfg : config;
   net : msg Channel.wire Wf_sim.Netsim.t;
   chan : msg Channel.t;
   deps : dep_state list;
+  journal : (c_input, c_snapshot) Wf_store.Journal.t;
   agents : (string, Agent.t) Hashtbl.t;
   agent_site : (string, int) Hashtbl.t;
   agent_of_symbol : (Symbol.t, string) Hashtbl.t;
   decided_set : (Symbol.t, unit) Hashtbl.t;
+  mutable replaying : bool;
   mutable parked : (Literal.t * Literal.t list) list;
   mutable triggered : Literal.Set.t;
   mutable seqno : int;
@@ -134,26 +158,33 @@ let feasible rt lit =
     rt.deps
 
 let send_to_agent rt instance m =
-  let site = Hashtbl.find rt.agent_site instance in
-  Channel.send rt.chan ~src:central_site ~dst:site m
+  if not rt.replaying then begin
+    let site = Hashtbl.find rt.agent_site instance in
+    Channel.send rt.chan ~src:central_site ~dst:site m
+  end
 
 let rec record rt lit =
   if not (decided rt (Literal.symbol lit)) then begin
-    rt.seqno <- rt.seqno + 1;
     Hashtbl.replace rt.decided_set (Literal.symbol lit) ();
-    rt.occurrences <-
-      {
-        Event_sched.lit;
-        seqno = rt.seqno;
-        time = Wf_sim.Netsim.now rt.net;
-      }
-      :: rt.occurrences;
-    Wf_sim.Stats.incr (stats rt) "occurrences";
+    (* Durable commit: during replay the occurrence log already holds
+       the event (committed by the pre-crash incarnation), so only the
+       volatile state below is rebuilt. *)
+    if not rt.replaying then begin
+      rt.seqno <- rt.seqno + 1;
+      rt.occurrences <-
+        {
+          Event_sched.lit;
+          seqno = rt.seqno;
+          time = Wf_sim.Netsim.now rt.net;
+        }
+        :: rt.occurrences;
+      Wf_sim.Stats.incr (stats rt) "occurrences"
+    end;
     List.iter
       (fun ds ->
         if mentions ds lit then begin
           ds.state <- Automaton.step ds.automaton ds.state lit;
-          if Automaton.is_dead ds.automaton ds.state then
+          if Automaton.is_dead ds.automaton ds.state && not rt.replaying then
             Wf_sim.Stats.incr (stats rt) "dead_residuals"
         end)
       rt.deps;
@@ -185,12 +216,15 @@ and decide rt lit entailed =
     | None -> ()
   end
   else if feasible rt lit then begin
-    Wf_sim.Stats.incr (stats rt) "parked_evaluations";
+    if not rt.replaying then
+      Wf_sim.Stats.incr (stats rt) "parked_evaluations";
     rt.parked <- (lit, entailed) :: rt.parked
   end
   else begin
-    rt.rejected <- lit :: rt.rejected;
-    Wf_sim.Stats.incr (stats rt) "rejections";
+    if not rt.replaying then begin
+      rt.rejected <- lit :: rt.rejected;
+      Wf_sim.Stats.incr (stats rt) "rejections"
+    end;
     match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
     | Some instance -> send_to_agent rt instance (Rejected lit)
     | None -> ()
@@ -212,13 +246,63 @@ and fire_triggers rt =
                  .Attribute.triggerable
           then begin
             rt.triggered <- Literal.Set.add l rt.triggered;
-            Wf_sim.Stats.incr (stats rt) "triggers";
+            if not rt.replaying then Wf_sim.Stats.incr (stats rt) "triggers";
             match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol l) with
             | Some instance -> send_to_agent rt instance (Trigger l)
             | None -> ()
           end)
         required)
     rt.deps
+
+let apply_center rt = function
+  | C_attempt (lit, entailed) -> decide rt lit entailed
+  | C_occurred lit -> record rt lit
+  | C_reject lit ->
+      rt.parked <-
+        List.filter (fun (l, _) -> not (Literal.equal l lit)) rt.parked;
+      if not rt.replaying then begin
+        rt.rejected <- lit :: rt.rejected;
+        match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
+        | Some instance -> send_to_agent rt instance (Rejected lit)
+        | None -> ()
+      end
+
+let snapshot_center rt =
+  {
+    cs_states = List.map (fun ds -> ds.state) rt.deps;
+    cs_parked = rt.parked;
+    cs_triggered = rt.triggered;
+    cs_decided = Hashtbl.fold (fun sym () acc -> sym :: acc) rt.decided_set [];
+  }
+
+(* The journaled entry point of the center: write ahead, apply,
+   checkpoint when due.  [apply_center] never re-enters it (the
+   recursion through [record]/[retry_parked]/[fire_triggers] is all
+   internal), so the post-apply state is always a transition boundary. *)
+let deliver_center rt input =
+  Wf_store.Journal.append rt.journal input;
+  apply_center rt input;
+  if Wf_store.Journal.wants_checkpoint rt.journal then
+    Wf_store.Journal.checkpoint rt.journal (snapshot_center rt)
+
+let recover_center rt =
+  rt.replaying <- true;
+  List.iter (fun ds -> ds.state <- 0) rt.deps;
+  rt.parked <- [];
+  rt.triggered <- Literal.Set.empty;
+  Hashtbl.reset rt.decided_set;
+  let ckpt, suffix = Wf_store.Journal.recover rt.journal in
+  (match ckpt with
+  | Some s ->
+      List.iter2 (fun ds st -> ds.state <- st) rt.deps s.cs_states;
+      rt.parked <- s.cs_parked;
+      rt.triggered <- s.cs_triggered;
+      List.iter (fun sym -> Hashtbl.replace rt.decided_set sym ()) s.cs_decided
+  | None -> ());
+  List.iter (fun input -> apply_center rt input) suffix;
+  rt.replaying <- false;
+  Wf_sim.Stats.incr (stats rt) "center_recoveries";
+  Wf_sim.Stats.add (stats rt) "center_replayed_entries" (List.length suffix)
 
 let rec schedule_agent rt agent =
   match Agent.want agent with
@@ -305,10 +389,13 @@ let run ?(config = default_config) wf =
               state = 0;
             })
           deps_exprs;
+      journal =
+        Wf_store.Journal.create ~checkpoint_every:config.checkpoint_every ();
       agents = Hashtbl.create 16;
       agent_site = Hashtbl.create 16;
       agent_of_symbol = Hashtbl.create 64;
       decided_set = Hashtbl.create 64;
+      replaying = false;
       parked = [];
       triggered = Literal.Set.empty;
       seqno = 0;
@@ -338,14 +425,23 @@ let run ?(config = default_config) wf =
     Channel.on_receive rt.chan site (fun _src m ->
         match m with
         | Attempt (lit, entailed) ->
-            if site = central_site then decide rt lit entailed
-        | Occurred lit -> if site = central_site then record rt lit
+            if site = central_site then
+              deliver_center rt (C_attempt (lit, entailed))
+        | Occurred lit ->
+            if site = central_site then deliver_center rt (C_occurred lit)
         | Accepted lit | Rejected lit | Trigger lit -> (
             match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
             | Some instance ->
                 agent_handle rt (Hashtbl.find rt.agents instance) m
             | None -> ()))
   done;
+  (* Crash recovery of the center: the channel's restart hook (created
+     first) has already bumped the epoch; rebuild the volatile center
+     state from the journal.  Agents model durable transactional tasks
+     and keep their state; their lost deliveries are retransmitted by
+     the channel. *)
+  Wf_sim.Netsim.on_restart net (fun site ->
+      if site = central_site then recover_center rt);
   Hashtbl.iter (fun _ agent -> schedule_agent rt agent) rt.agents;
   Wf_sim.Netsim.run ~max_steps:config.max_steps rt.net;
   (* Closing: complements of events that can no longer occur, then
@@ -365,7 +461,7 @@ let run ?(config = default_config) wf =
                         (fun (l, _) -> Symbol.equal (Literal.symbol l) sym)
                         rt.parked)
               then begin
-                record rt c;
+                deliver_center rt (C_occurred c);
                 progress := true
               end)
             (Agent.undecided_complements agent))
@@ -390,13 +486,8 @@ let run ?(config = default_config) wf =
       with
       | [] -> ()
       | (lit, entailed) :: _ ->
-          rt.parked <-
-            List.filter (fun (l, _) -> not (Literal.equal l lit)) rt.parked;
           ignore entailed;
-          rt.rejected <- lit :: rt.rejected;
-          (match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
-          | Some instance -> send_to_agent rt instance (Rejected lit)
-          | None -> ());
+          deliver_center rt (C_reject lit);
           Wf_sim.Netsim.run ~max_steps:config.max_steps rt.net;
           close_loop 16;
           reject_loop (budget - 1)
@@ -415,7 +506,7 @@ let run ?(config = default_config) wf =
     with
     | [] -> ()
     | sym :: _ when budget > 0 ->
-        record rt (Literal.neg sym);
+        deliver_center rt (C_occurred (Literal.neg sym));
         Wf_sim.Netsim.run ~max_steps:config.max_steps rt.net;
         close_loop 16;
         reject_loop 64;

@@ -21,9 +21,17 @@ type config = {
   jitter : float;
   think_time : float;
   max_steps : int;
+  checkpoint_every : int;
+      (** journal appends between checkpoints of the center's volatile
+          state (residual-automaton states, parked attempts, triggers) *)
   faults : Wf_sim.Netsim.fault_config;
       (** network fault injection; agent/center traffic rides the
-          reliable {!Channel} (acks, retransmits, dedup) *)
+          reliable {!Channel} (acks, retransmits, dedup), and the center
+          journals every input so a crash of site 0 recovers by
+          checkpoint + replay with commits and sends muted.  Agents
+          model durable transactional tasks: they keep their state
+          across a site crash, and deliveries they missed are
+          retransmitted. *)
 }
 
 val default_config : config

@@ -1,12 +1,20 @@
 type site = Wf_sim.Netsim.site
 
 type 'a wire =
-  | Data of { mid : int; origin : site; payload : 'a }
-  | Ack of { mid : int }
+  | Data of { mid : int; epoch : int; origin : site; payload : 'a }
+  | Ack of { mid : int; epoch : int }
+  | Hello of { origin : site; epoch : int }
+
+(* A message id is unique only within one (origin, epoch): mid counters
+   are volatile and restart from 0 after a crash, so the dedup and ack
+   key must be the full triple. *)
+type key = site * int * int (* origin, epoch, mid *)
 
 type 'a pending = {
   p_src : site;
   p_dst : site;
+  p_epoch : int; (* sender epoch at first send; stable across revives *)
+  p_mid : int;
   p_payload : 'a;
   p_first_sent : float;
   mutable p_tries : int;
@@ -18,89 +26,173 @@ type 'a t = {
   backoff : float;
   max_rto : float;
   max_retries : int;
-  pending : (int, 'a pending) Hashtbl.t; (* sender side, by message id *)
-  seen : (int, unit) Hashtbl.t; (* receiver side dedup, by message id *)
-  mutable next_mid : int;
+  pending : (key, 'a pending) Hashtbl.t; (* durable sender outbox *)
+  seen : (key, unit) Hashtbl.t; (* durable receiver-side dedup *)
+  dead : (key, 'a pending) Hashtbl.t; (* gave up; revived on peer Hello *)
+  epochs : int array; (* durable: bumped on every restart *)
+  mids : int array; (* volatile: reset to 0 on restart *)
+  peer_epoch : int array array; (* per observer: highest epoch seen per origin *)
+  local_reliable : bool;
+      (* Same-site messages normally skip the ack machinery (the
+         simulator never link-faults them), but a crashed site drops
+         every delivery — including local ones — so when the fault
+         config can crash sites, same-site traffic needs the
+         retransmission machinery too or a local handoff lost in a
+         crash window is lost forever. *)
 }
 
 let default_backoff = 2.0
 
-let create ?(rto = 3.0) ?(backoff = default_backoff) ?(max_rto = 60.0)
-    ?(max_retries = 30) net =
-  {
-    net;
-    rto;
-    backoff;
-    max_rto;
-    max_retries;
-    pending = Hashtbl.create 256;
-    seen = Hashtbl.create 256;
-    next_mid = 0;
-  }
-
 let net t = t.net
 let stats t = Wf_sim.Netsim.stats t.net
 let unacked t = Hashtbl.length t.pending
+let dead_letters t = Hashtbl.length t.dead
+let epoch t site = t.epochs.(site)
 
 let rto_after t tries =
   Float.min t.max_rto (t.rto *. (t.backoff ** float_of_int tries))
 
-let rec retransmit t mid () =
-  match Hashtbl.find_opt t.pending mid with
+let key_of p : key = (p.p_src, p.p_epoch, p.p_mid)
+
+let wire_of p = Data { mid = p.p_mid; epoch = p.p_epoch; origin = p.p_src; payload = p.p_payload }
+
+let rec retransmit t key () =
+  match Hashtbl.find_opt t.pending key with
   | None -> () (* acked meanwhile *)
   | Some p ->
       if p.p_tries >= t.max_retries then begin
-        Hashtbl.remove t.pending mid;
+        Hashtbl.remove t.pending key;
+        (* Keep the message: if the silent destination turns out to have
+           crashed, its restart Hello revives the transfer. *)
+        Hashtbl.replace t.dead key p;
         Wf_sim.Stats.incr (stats t) "chan_gave_up"
       end
       else begin
         p.p_tries <- p.p_tries + 1;
         Wf_sim.Stats.incr (stats t) "chan_retransmits";
-        Wf_sim.Netsim.send t.net ~src:p.p_src ~dst:p.p_dst
-          (Data { mid; origin = p.p_src; payload = p.p_payload });
+        Wf_sim.Netsim.send t.net ~src:p.p_src ~dst:p.p_dst (wire_of p);
         Wf_sim.Netsim.schedule t.net ~delay:(rto_after t p.p_tries)
-          (retransmit t mid)
+          (retransmit t key)
       end
 
 let send t ~src ~dst payload =
-  let mid = t.next_mid in
-  t.next_mid <- mid + 1;
-  if src = dst then
-    (* Same-site messages never fault: skip the ack machinery. *)
-    Wf_sim.Netsim.send t.net ~src ~dst (Data { mid; origin = src; payload })
+  let mid = t.mids.(src) in
+  t.mids.(src) <- mid + 1;
+  let epoch = t.epochs.(src) in
+  if src = dst && not t.local_reliable then
+    (* Same-site messages never link-fault: skip the ack machinery. *)
+    Wf_sim.Netsim.send t.net ~src ~dst (Data { mid; epoch; origin = src; payload })
   else begin
-    Hashtbl.replace t.pending mid
+    let p =
       {
         p_src = src;
         p_dst = dst;
+        p_epoch = epoch;
+        p_mid = mid;
         p_payload = payload;
         p_first_sent = Wf_sim.Netsim.now t.net;
         p_tries = 0;
-      };
-    Wf_sim.Netsim.send t.net ~src ~dst (Data { mid; origin = src; payload });
-    Wf_sim.Netsim.schedule t.net ~delay:(rto_after t 0) (retransmit t mid)
+      }
+    in
+    Hashtbl.replace t.pending (key_of p) p;
+    Wf_sim.Netsim.send t.net ~src ~dst (wire_of p);
+    Wf_sim.Netsim.schedule t.net ~delay:(rto_after t 0) (retransmit t (key_of p))
   end
+
+(* [observer] just learned (via Hello, or a Data stamped with a newer
+   epoch) that [origin] restarted: resurrect the observer's gave-up
+   messages to [origin] with their original keys, so receiver dedup
+   still suppresses the ones that did arrive before the silence. *)
+let revive_dead_to t ~observer ~origin =
+  let mine =
+    Hashtbl.fold
+      (fun key p acc ->
+        if p.p_dst = origin && p.p_src = observer then (key, p) :: acc else acc)
+      t.dead []
+  in
+  List.iter
+    (fun (key, p) ->
+      Hashtbl.remove t.dead key;
+      p.p_tries <- 0;
+      Hashtbl.replace t.pending key p;
+      Wf_sim.Stats.incr (stats t) "chan_revived";
+      Wf_sim.Netsim.send t.net ~src:p.p_src ~dst:p.p_dst (wire_of p);
+      Wf_sim.Netsim.schedule t.net ~delay:(rto_after t 0) (retransmit t key))
+    mine
+
+let note_peer_epoch t ~observer ~origin epoch =
+  if epoch > t.peer_epoch.(observer).(origin) then begin
+    t.peer_epoch.(observer).(origin) <- epoch;
+    revive_dead_to t ~observer ~origin
+  end
+
+let create ?(rto = 3.0) ?(backoff = default_backoff) ?(max_rto = 60.0)
+    ?(max_retries = 30) net =
+  let n = Wf_sim.Netsim.num_sites net in
+  let local_reliable =
+    let fc = Wf_sim.Netsim.fault_config net in
+    fc.Wf_sim.Netsim.crash_on_deliver > 0.0
+    || fc.Wf_sim.Netsim.crash_on_send > 0.0
+  in
+  let t =
+    {
+      net;
+      rto;
+      backoff;
+      max_rto;
+      max_retries;
+      pending = Hashtbl.create 256;
+      seen = Hashtbl.create 256;
+      dead = Hashtbl.create 16;
+      epochs = Array.make n 0;
+      mids = Array.make n 0;
+      peer_epoch = Array.init n (fun _ -> Array.make n 0);
+      local_reliable;
+    }
+  in
+  (* Epoch handshake, sender side: a restarted site loses its volatile
+     mid counter but keeps its durable epoch, which it bumps and
+     announces.  Peers react by reviving any transfer they had given up
+     on while the site was down. *)
+  Wf_sim.Netsim.on_restart net (fun site ->
+      t.epochs.(site) <- t.epochs.(site) + 1;
+      t.mids.(site) <- 0;
+      for dst = 0 to n - 1 do
+        if dst <> site then
+          Wf_sim.Netsim.send ~control:true t.net ~src:site ~dst
+            (Hello { origin = site; epoch = t.epochs.(site) })
+      done);
+  t
 
 let on_receive t site handler =
   Wf_sim.Netsim.on_receive t.net site (fun src wire ->
       match wire with
-      | Data { mid; origin; payload } ->
+      | Data { mid; epoch; origin; payload } ->
           (* Ack every copy: the previous ack may itself have been
-             lost.  Deliver to the handler at most once. *)
-          if origin <> site then begin
+             lost.  Deliver to the handler at most once per key — a
+             fresh epoch makes an old mid a distinct message, so a
+             post-restart (mid 0, epoch n+1) is never suppressed by a
+             pre-crash (mid 0, epoch n). *)
+          if origin <> site || t.local_reliable then begin
             Wf_sim.Stats.incr (stats t) "chan_acks";
-            Wf_sim.Netsim.send t.net ~src:site ~dst:origin (Ack { mid })
+            Wf_sim.Netsim.send ~control:true t.net ~src:site ~dst:origin
+              (Ack { mid; epoch });
+            if origin <> site then note_peer_epoch t ~observer:site ~origin epoch
           end;
-          if Hashtbl.mem t.seen mid then
+          let key = (origin, epoch, mid) in
+          if Hashtbl.mem t.seen key then
             Wf_sim.Stats.incr (stats t) "chan_duplicates_suppressed"
           else begin
-            Hashtbl.replace t.seen mid ();
+            Hashtbl.replace t.seen key ();
             handler src payload
           end
-      | Ack { mid } -> (
-          match Hashtbl.find_opt t.pending mid with
+      | Ack { mid; epoch } -> (
+          let key = (site, epoch, mid) in
+          match Hashtbl.find_opt t.pending key with
           | None -> () (* duplicate ack *)
           | Some p ->
-              Hashtbl.remove t.pending mid;
+              Hashtbl.remove t.pending key;
               Wf_sim.Stats.observe (stats t) "ack_latency"
-                (Wf_sim.Netsim.now t.net -. p.p_first_sent)))
+                (Wf_sim.Netsim.now t.net -. p.p_first_sent))
+      | Hello { origin; epoch } ->
+          if origin <> site then note_peer_epoch t ~observer:site ~origin epoch)

@@ -1,37 +1,68 @@
-(** Reliable, exactly-once delivery over the (possibly faulty) network.
+(** Reliable, exactly-once delivery over the (possibly faulty) network,
+    surviving site crashes.
 
     {!Wf_sim.Netsim} with a {!Wf_sim.Netsim.fault_config} may drop,
-    duplicate, or reorder messages, yet the schedulers' protocol
-    messages ([Announce], [Promise], [Reserve], ...) must each take
-    effect exactly once, or guard knowledge diverges across actors.
-    This module layers the classic recipe on top of the raw network:
+    duplicate, or reorder messages — and crash whole sites — yet the
+    schedulers' protocol messages ([Announce], [Promise], [Reserve],
+    ...) must each take effect exactly once, or guard knowledge diverges
+    across actors.  This module layers the classic recipe on top of the
+    raw network:
 
-    - every logical message carries a globally unique id;
+    - every logical message carries an id unique within its
+      [(origin, epoch)];
     - the receiver acknowledges {e every} Data copy (acks are lossy
       too) but hands the payload to the application at most once,
-      suppressing duplicates by id;
+      suppressing duplicates by [(origin, epoch, id)];
     - the sender retransmits unacknowledged messages with exponential
       backoff ([rto], [rto·backoff], [rto·backoff²], ..., capped at
-      [max_rto]) up to [max_retries] times, then gives up (counted as
-      ["chan_gave_up"] — with bounded partitions and the default cap
-      this is vanishingly rare).
+      [max_rto]) up to [max_retries] times, then parks the message as a
+      dead letter (counted ["chan_gave_up"]).
 
-    Same-site messages bypass the machinery entirely: the simulator
-    never faults them.
+    {2 Epochs and the restart handshake}
+
+    Crash recovery splits the channel state into a durable and a
+    volatile half.  Durable (journaled by assumption, so it survives a
+    crash): the sender's unacked outbox, the receiver's dedup set, and
+    the per-site {e epoch} counter.  Volatile: the per-site message-id
+    counter, which restarts from 0.
+
+    On restart a site bumps its epoch and broadcasts
+    [Hello {origin; epoch}] (control traffic, exempt from crash
+    injection).  Because the dedup key is the full
+    [(origin, epoch, id)] triple, a post-restart message reusing id 0
+    is a {e distinct} message from the pre-crash id 0 and is never
+    suppressed — the duplicate-after-restart corner.  Conversely a
+    retransmitted pre-crash message keeps its original epoch, so copies
+    that already arrived are still suppressed.
+
+    A peer that observes a fresh epoch (via Hello, or a Data stamped
+    with a newer epoch than it had seen) revives its own dead letters
+    addressed to the restarted site: retries reset, original key kept
+    (counted ["chan_revived"]).  In-flight messages need no handshake —
+    deliveries to a crashed site are dropped by the simulator and the
+    normal retransmission timers recover them.
+
+    Same-site messages bypass the machinery when the fault
+    configuration cannot crash sites (the simulator never link-faults
+    them).  With crash injection enabled they ride the full ack and
+    retransmission path too: a crashed site drops {e local} deliveries
+    as well, and a lost local handoff would otherwise stay lost.
 
     All timers run on the network's virtual clock and all randomness is
     the network's, so reliable delivery over a faulty network remains
     deterministic and replayable from [(seed, fault_config)].
 
     Counters in the network's {!Wf_sim.Stats.t}: ["chan_retransmits"],
-    ["chan_duplicates_suppressed"], ["chan_acks"], ["chan_gave_up"];
-    series ["ack_latency"] (first send to ack). *)
+    ["chan_duplicates_suppressed"], ["chan_acks"], ["chan_gave_up"],
+    ["chan_revived"]; series ["ack_latency"] (first send to ack). *)
 
 type site = Wf_sim.Netsim.site
 
 type 'a wire =
-  | Data of { mid : int; origin : site; payload : 'a }
-  | Ack of { mid : int }
+  | Data of { mid : int; epoch : int; origin : site; payload : 'a }
+  | Ack of { mid : int; epoch : int }
+  | Hello of { origin : site; epoch : int }
+      (** broadcast by a restarted site; triggers dead-letter revival *)
 
 type 'a t
 
@@ -43,11 +74,15 @@ val create :
   'a wire Wf_sim.Netsim.t ->
   'a t
 (** One channel manager serves every site of the given network.
-    [rto] is the initial retransmission timeout (default 3.0). *)
+    [rto] is the initial retransmission timeout (default 3.0).
+    Registers a {!Wf_sim.Netsim.on_restart} hook that runs the epoch
+    handshake; create the channel {e before} any layer whose restart
+    hook relies on fresh epochs. *)
 
 val send : 'a t -> src:site -> dst:site -> 'a -> unit
 (** Send with at-least-once retransmission; combined with receiver-side
-    dedup the payload is processed exactly once (unless given up). *)
+    dedup the payload is processed exactly once — across restarts of
+    either endpoint, as long as the destination eventually stays up. *)
 
 val on_receive : 'a t -> site -> (site -> 'a -> unit) -> unit
 (** Install the application handler of a site.  The handler sees each
@@ -56,6 +91,12 @@ val on_receive : 'a t -> site -> (site -> 'a -> unit) -> unit
 val net : 'a t -> 'a wire Wf_sim.Netsim.t
 val stats : 'a t -> Wf_sim.Stats.t
 
+val epoch : 'a t -> site -> int
+(** Current recovery epoch of the site (0 until its first restart). *)
+
 val unacked : 'a t -> int
 (** Messages still awaiting acknowledgement (in flight or being
     retransmitted). *)
+
+val dead_letters : 'a t -> int
+(** Messages the sender gave up on; kept for revival on a peer Hello. *)

@@ -8,6 +8,7 @@ type config = {
   think_time : float;
   max_steps : int;
   check_generates : bool;
+  checkpoint_every : int;
   faults : Wf_sim.Netsim.fault_config;
   on_event : occurrence -> unit;
 }
@@ -22,6 +23,7 @@ let default_config =
     think_time = 0.5;
     max_steps = 2_000_000;
     check_generates = false;
+    checkpoint_every = 32;
     faults = Wf_sim.Netsim.no_faults;
     on_event = (fun _ -> ());
   }
@@ -36,6 +38,14 @@ type result = {
   rejected : Literal.t list;
 }
 
+(* Per-actor durable state: the write-ahead journal plus the reentrancy
+   depth of [deliver] — a nested delivery (an actor's own fire feeding
+   back as its occurrence) must not checkpoint a half-applied state. *)
+type jstate = {
+  j : (Actor.input, Actor.snapshot) Wf_store.Journal.t;
+  mutable depth : int;
+}
+
 type runtime = {
   wf : Workflow_def.t;
   cfg : config;
@@ -44,6 +54,11 @@ type runtime = {
   compiled : Compile.t;
   actors : (Symbol.t, Actor.t) Hashtbl.t;
   ctxs : (Symbol.t, Actor.ctx) Hashtbl.t; (* memoized per-actor contexts *)
+  journals : (Symbol.t, jstate) Hashtbl.t;
+  actor_seeds : (Symbol.t, unit -> Actor.t) Hashtbl.t;
+      (* immutable creation parameters, to re-derive a fresh actor on
+         recovery (configuration is spec-derived, not journaled) *)
+  replay_stats : Wf_sim.Stats.t; (* scratch sink for muted replays *)
   agents : (string, Agent.t) Hashtbl.t;
   agent_of_symbol : (Symbol.t, string) Hashtbl.t;
   subscriptions : (Symbol.t, Symbol.Set.t) Hashtbl.t;
@@ -91,6 +106,21 @@ let rec ctx_for rt (actor : Actor.t) : Actor.ctx =
       Hashtbl.add rt.ctxs sym ctx;
       ctx
 
+(* The journaled entry point: append the input (write-ahead), apply it,
+   and checkpoint when due — but only at depth 0, because an actor's own
+   fire feeds back as a nested delivery of its occurrence, and a
+   checkpoint taken inside the outer apply would freeze a half-applied
+   state. *)
+and deliver rt actor input =
+  let js = Hashtbl.find rt.journals (Actor.symbol actor) in
+  Wf_store.Journal.append js.j input;
+  js.depth <- js.depth + 1;
+  Fun.protect
+    ~finally:(fun () -> js.depth <- js.depth - 1)
+    (fun () -> Actor.apply (ctx_for rt actor) actor input);
+  if js.depth = 0 && Wf_store.Journal.wants_checkpoint js.j then
+    Wf_store.Journal.checkpoint js.j (Actor.snapshot actor)
+
 and fire rt lit =
   let sym = Literal.symbol lit in
   if decided_globally rt sym then ()
@@ -105,7 +135,7 @@ and fire rt lit =
     Wf_sim.Stats.incr (stats rt) "occurrences";
     (* Own actor learns first (it hosts the event). *)
     let actor = actor_of rt sym in
-    Actor.note_occurred (ctx_for rt actor) actor lit ~seqno;
+    deliver rt actor (Actor.I_occurred { lit; seqno });
     (* The owning agent advances; triggered transitions already advanced
        the agent, so use the stashed complements instead. *)
     let complements =
@@ -182,7 +212,7 @@ and schedule_agent rt agent =
                    (fun c -> (Compile.plan rt.compiled c).Compile.guard)
                    (Agent.would_make_unreachable agent sym))
             in
-            Actor.attempt ~entailed (ctx_for rt actor) actor Literal.Pos
+            deliver rt actor (Actor.I_attempt { pol = Literal.Pos; entailed })
           end
           else begin
             (* Uncontrollable: announced, not requested.  Record a
@@ -197,6 +227,23 @@ and schedule_agent rt agent =
             | _ -> ());
             fire rt (Literal.pos sym)
           end)
+
+(* Rebuild a crashed actor: fresh instance from the spec-derived seed,
+   restore the latest checkpoint, replay the journal suffix with side
+   effects muted (the pre-crash incarnation already performed them).
+   The stale memoized ctx is dropped so closures never capture a dead
+   actor record. *)
+let recover_actor rt sym =
+  let js = Hashtbl.find rt.journals sym in
+  let fresh = (Hashtbl.find rt.actor_seeds sym) () in
+  let ckpt, suffix = Wf_store.Journal.recover js.j in
+  (match ckpt with Some s -> Actor.restore fresh s | None -> ());
+  let mctx = Actor.muted_ctx rt.replay_stats in
+  List.iter (fun input -> Actor.apply mctx fresh input) suffix;
+  Hashtbl.replace rt.actors sym fresh;
+  Hashtbl.remove rt.ctxs sym;
+  Wf_sim.Stats.incr (stats rt) "actor_recoveries";
+  Wf_sim.Stats.add (stats rt) "replayed_entries" (List.length suffix)
 
 let build cfg wf =
   let deps = Workflow_def.dependencies wf in
@@ -222,6 +269,9 @@ let build cfg wf =
       compiled;
       actors = Hashtbl.create 64;
       ctxs = Hashtbl.create 64;
+      journals = Hashtbl.create 64;
+      actor_seeds = Hashtbl.create 64;
+      replay_stats = Wf_sim.Stats.create ();
       agents = Hashtbl.create 16;
       agent_of_symbol = Hashtbl.create 64;
       subscriptions = Hashtbl.create 64;
@@ -273,12 +323,19 @@ let build cfg wf =
             automata
         else []
       in
-      let actor =
+      let seed () =
         Actor.create ~sym ~site:(Workflow_def.site_of wf sym)
           ~guard_pos:plan_pos.Compile.guard ~guard_neg:plan_neg.Compile.guard
           ~attr_pos ~attr_neg ~demand_automata ()
       in
+      let actor = seed () in
       Hashtbl.replace rt.actors sym actor;
+      Hashtbl.replace rt.actor_seeds sym seed;
+      Hashtbl.replace rt.journals sym
+        {
+          j = Wf_store.Journal.create ~checkpoint_every:cfg.checkpoint_every ();
+          depth = 0;
+        };
       (* Subscriptions: guard symbols of both polarities, the full
          alphabet of the demand automata, and the guards of complements
          the owning task's transitions may entail. *)
@@ -346,8 +403,41 @@ let build cfg wf =
   for site = 0 to num_sites - 1 do
     Channel.on_receive rt.chan site (fun _src (target, msg) ->
         let actor = actor_of rt target in
-        Actor.handle (ctx_for rt actor) actor msg)
+        deliver rt actor (Actor.I_message msg))
   done;
+  (* Crash recovery: when a site restarts, the channel's hook (created
+     first, so it runs first) has already bumped the epoch and said
+     Hello; now rebuild each hosted actor from its journal and run the
+     actor-level handshake — an undecided recovered actor pings the
+     peers it watches, and any peer with a decided fate re-announces
+     it. *)
+  Wf_sim.Netsim.on_restart net (fun site ->
+      let hosted =
+        Hashtbl.fold
+          (fun sym actor acc ->
+            if Actor.site actor = site then sym :: acc else acc)
+          rt.actors []
+      in
+      let hosted = List.sort Symbol.compare hosted in
+      List.iter (fun sym -> recover_actor rt sym) hosted;
+      let epoch = Channel.epoch rt.chan site in
+      List.iter
+        (fun sym ->
+          let actor = actor_of rt sym in
+          if Actor.decided actor = None then
+            Symbol.Set.iter
+              (fun peer ->
+                if
+                  Hashtbl.mem rt.actors peer
+                  && not (Knowledge.decided (Actor.knowledge actor) peer)
+                then begin
+                  let dst_site = Actor.site (actor_of rt peer) in
+                  Channel.send rt.chan ~src:site ~dst:dst_site
+                    (peer, Messages.Recovered { sym; epoch });
+                  Wf_sim.Stats.incr (stats rt) "msg_recovered"
+                end)
+              (Actor.watched_symbols actor))
+        hosted);
   rt
 
 let close_round rt =
@@ -395,7 +485,7 @@ let final_close rt =
       with
       | [] -> ()
       | (_, actor) :: _ ->
-          Actor.force_reject_parked (ctx_for rt actor) actor;
+          deliver rt actor Actor.I_close;
           Wf_sim.Netsim.run ~max_steps:rt.cfg.max_steps rt.net;
           close_rounds rt 16;
           reject_loop (budget - 1)

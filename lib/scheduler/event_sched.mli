@@ -24,10 +24,18 @@ type config = {
   check_generates : bool;
       (** also verify Definition 4 w.r.t. the synthesized guards
           (exponential in alphabet; keep off for large workflows) *)
+  checkpoint_every : int;
+      (** journal appends between actor-state checkpoints (default 32);
+          smaller means shorter replays, larger means cheaper appends *)
   faults : Wf_sim.Netsim.fault_config;
       (** network fault injection (drops, duplication, reordering,
-          partitions, site pauses); protocol messages ride the reliable
-          {!Channel}, so correctness survives any bounded fault load *)
+          partitions, site pauses, site crash/restart); protocol
+          messages ride the reliable {!Channel} and every actor keeps a
+          write-ahead journal, so correctness survives any bounded
+          fault load: a restarted site replays each hosted actor from
+          its latest checkpoint plus journal suffix and runs the epoch
+          handshake (channel Hello, then {!Messages.Recovered} to
+          watched peers) *)
   on_event : occurrence -> unit;
       (** invoked at each occurrence, in order — the hook by which task
           effects (e.g. store updates) attach to significant events *)

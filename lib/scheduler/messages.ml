@@ -12,6 +12,7 @@ type t =
   | Reserve_granted of { sym : Symbol.t; to_ : Literal.t }
   | Reserve_denied of { sym : Symbol.t; to_ : Literal.t }
   | Release of { sym : Symbol.t; holder : Literal.t }
+  | Recovered of { sym : Symbol.t; epoch : int }
 
 let pp ppf = function
   | Announce { lit; seqno } ->
@@ -29,6 +30,8 @@ let pp ppf = function
       Format.fprintf ppf "reserve-denied %a to %a" Symbol.pp sym Literal.pp to_
   | Release { sym; holder } ->
       Format.fprintf ppf "release %a by %a" Symbol.pp sym Literal.pp holder
+  | Recovered { sym; epoch } ->
+      Format.fprintf ppf "recovered %a epoch %d" Symbol.pp sym epoch
 
 let label = function
   | Announce _ -> "announce"
@@ -38,3 +41,4 @@ let label = function
   | Reserve_granted _ -> "reserve_granted"
   | Reserve_denied _ -> "reserve_denied"
   | Release _ -> "release"
+  | Recovered _ -> "recovered"

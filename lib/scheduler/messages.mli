@@ -10,7 +10,12 @@ open Wf_core
     - [Reserve] / [Reserve_granted] / [Reserve_denied] / [Release]: the
       [¬]-consensus: while a reservation is held, the reserved symbol
       stays undecided, so the holder may fire through a [¬f]-style
-      constraint soundly. *)
+      constraint soundly.
+    - [Recovered]: the actor-level half of the epoch handshake — a
+      replayed actor tells its watched peers it is back (with its new
+      epoch); a peer that has already decided its fate re-announces it,
+      and the [Announce] duplicate check absorbs re-announcements the
+      journal had in fact preserved. *)
 
 type t =
   | Announce of { lit : Literal.t; seqno : int }
@@ -24,6 +29,7 @@ type t =
   | Reserve_granted of { sym : Symbol.t; to_ : Literal.t }
   | Reserve_denied of { sym : Symbol.t; to_ : Literal.t }
   | Release of { sym : Symbol.t; holder : Literal.t }
+  | Recovered of { sym : Symbol.t; epoch : int }
 
 val pp : Format.formatter -> t -> unit
 val label : t -> string

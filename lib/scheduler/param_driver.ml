@@ -8,8 +8,8 @@ type result = {
   finished : bool;
 }
 
-let run ?(seed = 42L) ?(max_steps = 100_000) ~templates wf =
-  let engine = Param_sched.create templates in
+let run ?(seed = 42L) ?(max_steps = 100_000) ?crash_every ~templates wf =
+  let engine = ref (Param_sched.create templates) in
   let rng = Wf_sim.Rng.create seed in
   let agents =
     List.map
@@ -20,6 +20,7 @@ let run ?(seed = 42L) ?(max_steps = 100_000) ~templates wf =
       wf.Workflow_def.tasks
   in
   let attempts = ref 0 in
+  let last_crash = ref 0 in
   let steps = ref 0 in
   let stalled = ref 0 in
   let progress () =
@@ -27,7 +28,7 @@ let run ?(seed = 42L) ?(max_steps = 100_000) ~templates wf =
   in
   while progress () && !steps < max_steps && !stalled < 10_000 do
     incr steps;
-    let before = Trace.length (Param_sched.trace engine) in
+    let before = Trace.length (Param_sched.trace !engine) in
     let live = List.filter (fun a -> not (Agent.finished a)) agents in
     if live <> [] then begin
       let agent = Wf_sim.Rng.pick rng live in
@@ -35,25 +36,33 @@ let run ?(seed = 42L) ?(max_steps = 100_000) ~templates wf =
       | None -> (
           (* Awaiting a parked decision: poke the engine. *)
           match Agent.awaiting agent with
-          | Some sym when Knowledge.decided (Param_sched.knowledge engine) sym
+          | Some sym when Knowledge.decided (Param_sched.knowledge !engine) sym
             ->
               ignore (Agent.on_accepted agent sym)
           | _ -> ())
       | Some (sym, _) -> (
           incr attempts;
           Agent.begin_attempt agent sym;
-          match Param_sched.attempt engine sym with
+          match Param_sched.attempt !engine sym with
           | Param_sched.Accepted | Param_sched.Already ->
               ignore (Agent.on_accepted agent sym)
           | Param_sched.Parked -> ()
           | Param_sched.Rejected -> Agent.on_rejected agent sym)
     end;
-    if Trace.length (Param_sched.trace engine) = before then incr stalled
+    (* Simulated engine crash: throw the in-memory engine away and
+       rebuild it from its journal (checkpoint + replay).  Agents model
+       durable tasks and keep their state. *)
+    (match crash_every with
+    | Some k when k > 0 && !attempts >= !last_crash + k ->
+        last_crash := !attempts;
+        engine := Param_sched.recover !engine
+    | _ -> ());
+    if Trace.length (Param_sched.trace !engine) = before then incr stalled
     else stalled := 0
   done;
   {
-    trace = Param_sched.trace engine;
+    trace = Param_sched.trace !engine;
     attempts = !attempts;
-    parked_final = Param_sched.parked engine;
+    parked_final = Param_sched.parked !engine;
     finished = List.for_all Agent.finished agents;
   }

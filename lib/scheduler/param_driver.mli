@@ -16,6 +16,11 @@ type result = {
 val run :
   ?seed:int64 ->
   ?max_steps:int ->
+  ?crash_every:int ->
   templates:Ptemplate.t list ->
   Workflow_def.t ->
   result
+(** [crash_every:k] crashes the engine after every [k]-th attempt and
+    rebuilds it from its write-ahead journal ({!Param_sched.recover});
+    replay determinism makes the run indistinguishable from an
+    uncrashed one. *)

@@ -2,6 +2,20 @@ open Wf_core
 
 type outcome = Accepted | Parked | Rejected | Already
 
+(* Journaled inputs and checkpointed state: the engine's evolution is a
+   deterministic function of the attempt/occurrence sequence, so a
+   write-ahead log of inputs plus periodic snapshots reconstructs it
+   exactly after a crash (templates are re-synthesized from the
+   dependency list, not journaled). *)
+type input = P_attempt of Symbol.t | P_occurred of Literal.t
+
+type snapshot = {
+  s_know : Knowledge.t;
+  s_seqno : int;
+  s_occurrences : Literal.t list;
+  s_parked_syms : Symbol.t list;
+}
+
 type t = {
   deps : Ptemplate.t list;
   templates : (int * Ptemplate.atom * Guard.t) list;
@@ -9,6 +23,7 @@ type t = {
       (* per positive atom: base names its guard template mentions — an
          occurrence with a known token and an unrelated base cannot
          change the atom's instance statuses *)
+  journal : (input, snapshot) Wf_store.Journal.t;
   mutable know : Knowledge.t;
   mutable seqno : int;
   mutable occurrences : Literal.t list; (* newest first *)
@@ -17,7 +32,7 @@ type t = {
 
 let fresh_marker = "*"
 
-let create deps =
+let create ?(checkpoint_every = 32) deps =
   let templates =
     List.concat
       (List.mapi
@@ -53,6 +68,7 @@ let create deps =
     deps;
     templates;
     watch_bases;
+    journal = Wf_store.Journal.create ~checkpoint_every ();
     know = Knowledge.empty;
     seqno = 0;
     occurrences = [];
@@ -222,7 +238,7 @@ let rec retry_parked ?touched t =
   end
   else t.parked_syms <- still @ t.parked_syms
 
-let attempt t sym =
+let apply_attempt t sym =
   if Knowledge.decided t.know sym then Already
   else
     match decide t sym with
@@ -236,7 +252,7 @@ let attempt t sym =
           t.parked_syms <- sym :: t.parked_syms;
         Parked
 
-let occurred t lit =
+let apply_occurred t lit =
   if not (Knowledge.decided t.know (Literal.symbol lit)) then begin
     let sym = Literal.symbol lit in
     (* A token never seen before enlarges the instance enumeration for
@@ -252,6 +268,54 @@ let occurred t lit =
     if fresh_token then retry_parked t
     else retry_parked ~touched:(Symbol.base sym) t
   end
+
+(* --- crash recovery ------------------------------------------------------ *)
+
+let snapshot t =
+  {
+    s_know = t.know;
+    s_seqno = t.seqno;
+    s_occurrences = t.occurrences;
+    s_parked_syms = t.parked_syms;
+  }
+
+let restore t s =
+  t.know <- s.s_know;
+  t.seqno <- s.s_seqno;
+  t.occurrences <- s.s_occurrences;
+  t.parked_syms <- s.s_parked_syms
+
+let maybe_checkpoint t =
+  if Wf_store.Journal.wants_checkpoint t.journal then
+    Wf_store.Journal.checkpoint t.journal (snapshot t)
+
+let attempt t sym =
+  Wf_store.Journal.append t.journal (P_attempt sym);
+  let out = apply_attempt t sym in
+  maybe_checkpoint t;
+  out
+
+let occurred t lit =
+  Wf_store.Journal.append t.journal (P_occurred lit);
+  apply_occurred t lit;
+  maybe_checkpoint t
+
+let recover t =
+  let fresh = { (create t.deps) with journal = t.journal } in
+  let ckpt, suffix = Wf_store.Journal.recover t.journal in
+  (match ckpt with Some s -> restore fresh s | None -> ());
+  List.iter
+    (function
+      | P_attempt sym -> ignore (apply_attempt fresh sym)
+      | P_occurred lit -> apply_occurred fresh lit)
+    suffix;
+  fresh
+
+let equal_state a b =
+  Knowledge.equal a.know b.know
+  && Int.equal a.seqno b.seqno
+  && List.equal Literal.equal a.occurrences b.occurrences
+  && List.equal Symbol.equal a.parked_syms b.parked_syms
 
 let parked t = t.parked_syms
 let trace t = List.rev t.occurrences

@@ -22,8 +22,10 @@ type outcome = Accepted | Parked | Rejected | Already
 
 type t
 
-val create : Ptemplate.t list -> t
-(** Synthesizes one guard template per (dependency, atom pattern). *)
+val create : ?checkpoint_every:int -> Ptemplate.t list -> t
+(** Synthesizes one guard template per (dependency, atom pattern).
+    [checkpoint_every] (default 32) sets the engine's write-ahead
+    journal cadence; see {!recover}. *)
 
 val attempt : t -> Symbol.t -> outcome
 (** Attempt a ground positive event token, e.g. [b_t1(3)].  [Accepted]
@@ -44,6 +46,17 @@ val knowledge : t -> Knowledge.t
 val guard_templates : t -> (int * Ptemplate.atom * Guard.t) list
 (** The synthesized guard templates (dependency index, pattern,
     guard over [?var]-marked symbols). *)
+
+val recover : t -> t
+(** Simulate a crash and restart: rebuild a fresh engine from the same
+    dependency list (templates re-synthesized), restore the journal's
+    latest checkpoint, and replay the suffix.  The result is
+    state-identical to the input engine ({!equal_state}) and continues
+    the run seamlessly — the journal is carried over. *)
+
+val equal_state : t -> t -> bool
+(** Field-by-field equality of the mutable engine state (knowledge,
+    sequence counter, occurrence log, parked tokens). *)
 
 val instance_status :
   t -> Guard.t -> bound:(string * string) list -> Knowledge.status

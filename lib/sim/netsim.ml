@@ -18,6 +18,10 @@ type fault_config = {
   reorder_window : float;
   partitions : partition list;
   pauses : pause list;
+  crash_on_deliver : float;
+  crash_on_send : float;
+  restart_delay : float;
+  max_crashes : int;
 }
 
 let no_faults =
@@ -28,10 +32,14 @@ let no_faults =
     reorder_window = 0.0;
     partitions = [];
     pauses = [];
+    crash_on_deliver = 0.0;
+    crash_on_send = 0.0;
+    restart_delay = 1.0;
+    max_crashes = 10_000;
   }
 
 type 'msg event =
-  | Deliver of { src : site; dst : site; payload : 'msg }
+  | Deliver of { src : site; dst : site; control : bool; payload : 'msg }
   | Action of (unit -> unit)
 
 type 'msg t = {
@@ -39,12 +47,18 @@ type 'msg t = {
   latency : site -> site -> latency;
   faults : fault_config;
   rng : Rng.t;
+  crash_rng : Rng.t;
+      (* crash draws use their own stream so enabling crash injection
+         does not perturb latency/think-time draws of the main stream *)
   stats : Stats.t;
   queue : 'msg event Heap.t;
   handlers : (site -> 'msg -> unit) option array;
   last_delivery : (site * site, float) Hashtbl.t;
   paused : bool array;
   stalled : 'msg event list array; (* newest first, per paused site *)
+  crashed : bool array;
+  mutable restart_hooks : (site -> unit) list; (* registration order *)
+  mutable crashes_injected : int;
   mutable clock : float;
   mutable seq : int;
 }
@@ -63,12 +77,16 @@ let create ?(seed = 42L) ?(faults = no_faults) ~num_sites ~latency () =
       latency;
       faults;
       rng = Rng.create seed;
+      crash_rng = Rng.create (Int64.logxor seed 0x9E3779B97F4A7C15L);
       stats = Stats.create ();
       queue = Heap.create ();
       handlers = Array.make num_sites None;
       last_delivery = Hashtbl.create 64;
       paused = Array.make num_sites false;
       stalled = Array.make num_sites [];
+      crashed = Array.make num_sites false;
+      restart_hooks = [];
+      crashes_injected = 0;
       clock = 0.0;
       seq = 0;
     }
@@ -94,6 +112,7 @@ let create ?(seed = 42L) ?(faults = no_faults) ~num_sites ~latency () =
 
 let now t = t.clock
 let stats t = t.stats
+let fault_config t = t.faults
 let rng t = t.rng
 
 let on_receive t site handler =
@@ -113,6 +132,49 @@ let resume_site t site =
   List.iter (fun ev -> Heap.push t.queue ~key:t.clock ~seq:(next_seq t) ev) backlog
 
 let site_paused t site = t.paused.(site)
+let num_sites t = t.num_sites
+
+let on_restart t hook = t.restart_hooks <- t.restart_hooks @ [ hook ]
+
+let crash_site t site =
+  if site < 0 || site >= t.num_sites then invalid_arg "Netsim.crash_site";
+  if not t.crashed.(site) then begin
+    t.crashed.(site) <- true;
+    Stats.incr t.stats "net_crashes"
+  end
+
+let restart_site t site =
+  if site < 0 || site >= t.num_sites then invalid_arg "Netsim.restart_site";
+  if t.crashed.(site) then begin
+    t.crashed.(site) <- false;
+    Stats.incr t.stats "net_restarts";
+    List.iter (fun hook -> hook site) t.restart_hooks
+  end
+
+let site_crashed t site = t.crashed.(site)
+
+(* Seeded crash injection at a transition boundary of [site].  Crashes
+   draw on a budget ([max_crashes]) so that even a crash-at-every-
+   transition schedule terminates: recovery traffic (handshakes, revived
+   retransmissions) can itself be crashed, and without a budget two
+   mutually-watching recovering actors could knock each other over
+   forever. *)
+let maybe_crash t ~prob site =
+  if
+    prob > 0.0
+    && (not t.crashed.(site))
+    && t.crashes_injected < t.faults.max_crashes
+    && Rng.float t.crash_rng 1.0 < prob
+  then begin
+    t.crashes_injected <- t.crashes_injected + 1;
+    crash_site t site;
+    let delay =
+      if t.faults.restart_delay <= 0.0 then 0.0
+      else Rng.exponential t.crash_rng ~mean:t.faults.restart_delay
+    in
+    Heap.push t.queue ~key:(t.clock +. delay) ~seq:(next_seq t)
+      (Action (fun () -> restart_site t site))
+  end
 
 (* Is the (src, dst) link severed by some partition window at the
    current virtual time?  Partitions cut both directions between the two
@@ -125,7 +187,7 @@ let partitioned t src dst =
          || (List.mem src group_b && List.mem dst group_a)))
     t.faults.partitions
 
-let enqueue_delivery t ~src ~dst payload =
+let enqueue_delivery t ~src ~dst ~control payload =
   let { base; jitter } = t.latency src dst in
   let delay =
     base +. (if jitter > 0.0 then Rng.exponential t.rng ~mean:jitter else 0.0)
@@ -156,9 +218,10 @@ let enqueue_delivery t ~src ~dst payload =
   if not reordered then Hashtbl.replace t.last_delivery key arrival;
   Stats.incr t.stats (Printf.sprintf "site_recv_%d" dst);
   Stats.observe t.stats "message_latency" (arrival -. t.clock);
-  Heap.push t.queue ~key:arrival ~seq:(next_seq t) (Deliver { src; dst; payload })
+  Heap.push t.queue ~key:arrival ~seq:(next_seq t)
+    (Deliver { src; dst; control; payload })
 
-let send t ~src ~dst payload =
+let send ?(control = false) t ~src ~dst payload =
   Stats.incr t.stats "messages_sent";
   if src <> dst then Stats.incr t.stats "messages_remote";
   let fc = t.faults in
@@ -167,15 +230,19 @@ let send t ~src ~dst payload =
   else if src <> dst && fc.drop_rate > 0.0 && Rng.float t.rng 1.0 < fc.drop_rate
   then Stats.incr t.stats "net_drops"
   else begin
-    enqueue_delivery t ~src ~dst payload;
+    enqueue_delivery t ~src ~dst ~control payload;
     if
       src <> dst && fc.duplicate_rate > 0.0
       && Rng.float t.rng 1.0 < fc.duplicate_rate
     then begin
       Stats.incr t.stats "net_duplicates";
-      enqueue_delivery t ~src ~dst payload
+      enqueue_delivery t ~src ~dst ~control payload
     end
-  end
+  end;
+  (* Crash-on-send point: the sending process dies right after the
+     message left it.  Wire-level bookkeeping (acks, hellos) is exempt —
+     it is not a guarded transition of any actor. *)
+  if src <> dst && not control then maybe_crash t ~prob:fc.crash_on_send src
 
 let schedule t ~delay action =
   Heap.push t.queue ~key:(t.clock +. delay) ~seq:(next_seq t) (Action action)
@@ -198,16 +265,28 @@ let run ?(until = infinity) ?(max_steps = max_int) t =
             incr steps;
             match event with
             | Action f -> f ()
-            | Deliver { src; dst; payload } ->
+            | Deliver { src; dst; control; payload } ->
                 if t.paused.(dst) then begin
                   Stats.incr t.stats "net_stalled";
                   t.stalled.(dst) <-
-                    Deliver { src; dst; payload } :: t.stalled.(dst)
+                    Deliver { src; dst; control; payload } :: t.stalled.(dst)
                 end
+                else if t.crashed.(dst) then
+                  (* A crashed process receives nothing; the channel's
+                     retransmission layer recovers the loss after the
+                     epoch handshake. *)
+                  Stats.incr t.stats "net_crash_drops"
                 else begin
                   Stats.incr t.stats "messages_delivered";
-                  match t.handlers.(dst) with
+                  (match t.handlers.(dst) with
                   | Some h -> h src payload
-                  | None -> Stats.incr t.stats "messages_dropped"
+                  | None -> Stats.incr t.stats "messages_dropped");
+                  (* Crash-on-deliver point: the receiving process dies
+                     right after the handler ran — the transition took
+                     effect and was journaled, but anything volatile is
+                     lost.  Local (same-site) and control traffic is
+                     exempt so recovery bookkeeping cannot crash-loop. *)
+                  if src <> dst && not control then
+                    maybe_crash t ~prob:t.faults.crash_on_deliver dst
                 end))
   done

@@ -23,7 +23,26 @@
     are never dropped, duplicated, or reordered.
 
     Fault counters land in {!stats}: ["net_drops"], ["net_duplicates"],
-    ["net_reordered"], ["net_partition_drops"], ["net_stalled"]. *)
+    ["net_reordered"], ["net_partition_drops"], ["net_stalled"].
+
+    {2 Crash/restart injection}
+
+    Beyond link faults, sites themselves can crash and restart.  A crash
+    is injected at a transition boundary — right after a non-control
+    remote delivery's handler ran ({!fault_config.crash_on_deliver}) or
+    right after a non-control remote send left the process
+    ({!fault_config.crash_on_send}).  While a site is crashed every
+    delivery to it is dropped (counter ["net_crash_drops"]); after a
+    seeded exponential restart delay the site comes back and every
+    registered {!on_restart} hook runs, which is where the recovery
+    subsystem replays the journal and initiates the epoch handshake.
+
+    Crash draws use a dedicated random stream derived from the seed, so
+    enabling crash injection does not perturb latency or link-fault
+    draws.  A global budget ({!fault_config.max_crashes}) bounds the
+    total number of injected crashes so that even a crash probability of
+    1.0 terminates.  Counters: ["net_crashes"], ["net_restarts"],
+    ["net_crash_drops"]. *)
 
 type site = int
 
@@ -47,6 +66,16 @@ type fault_config = {
   reorder_window : float;  (** max extra delay of a reordered message *)
   partitions : partition list;
   pauses : pause list;  (** timed site pauses (see {!pause_site}) *)
+  crash_on_deliver : float;
+      (** probability a site crashes right after handling a non-control
+          remote delivery *)
+  crash_on_send : float;
+      (** probability a site crashes right after a non-control remote
+          send *)
+  restart_delay : float;
+      (** mean of the exponential restart delay; [<= 0.0] restarts the
+          site at the same virtual instant (immediate restart) *)
+  max_crashes : int;  (** global budget of injected crashes *)
 }
 
 val no_faults : fault_config
@@ -68,16 +97,24 @@ val now : 'msg t -> float
 val stats : 'msg t -> Stats.t
 val rng : 'msg t -> Rng.t
 
+val fault_config : 'msg t -> fault_config
+(** The fault configuration the network was created with; layers above
+    consult it to decide how defensively to behave (e.g. the channel
+    only arms same-site retransmission when crashes are possible). *)
+
 val on_receive : 'msg t -> site -> (site -> 'msg -> unit) -> unit
 (** Install the message handler of a site; the callback receives the
     source site and the payload. *)
 
-val send : 'msg t -> src:site -> dst:site -> 'msg -> unit
+val send : ?control:bool -> 'msg t -> src:site -> dst:site -> 'msg -> unit
 (** Enqueue a message; it is delivered after the link latency, in FIFO
     order per (src, dst) pair.  Messages to the own site are delivered
     with negligible local latency.  Under a {!fault_config} the message
     may be dropped, duplicated, or reordered; across a severed partition
-    it is always lost. *)
+    it is always lost.  [control] (default [false]) marks wire-level
+    bookkeeping (acks, epoch hellos): control traffic is still subject
+    to link faults but never triggers crash injection, so recovery
+    cannot crash-loop. *)
 
 val schedule : 'msg t -> delay:float -> (unit -> unit) -> unit
 (** Run a local action after a virtual delay.  Timed actions are not
@@ -90,6 +127,24 @@ val resume_site : 'msg t -> site -> unit
 (** Deliver the stalled backlog (in arrival order) and resume. *)
 
 val site_paused : 'msg t -> site -> bool
+
+val num_sites : 'msg t -> int
+
+val crash_site : 'msg t -> site -> unit
+(** Crash the site now: until {!restart_site}, every delivery to it is
+    dropped (["net_crash_drops"]).  Idempotent. *)
+
+val restart_site : 'msg t -> site -> unit
+(** Bring a crashed site back and run the registered {!on_restart}
+    hooks (in registration order).  No-op if the site is not crashed. *)
+
+val site_crashed : 'msg t -> site -> bool
+
+val on_restart : 'msg t -> (site -> unit) -> unit
+(** Register a hook called with the site id every time a site restarts
+    after a crash.  Hooks run in registration order, so layering is
+    deterministic: the channel re-announces its epoch before the
+    scheduler replays actors, provided they registered in that order. *)
 
 val run : ?until:float -> ?max_steps:int -> 'msg t -> unit
 (** Process events until the queue drains (or limits are hit). *)

@@ -1,0 +1,51 @@
+(* Append-only write-ahead log with periodic checkpoints.
+
+   The journal is the durable half of a crash-recoverable actor: every
+   input is appended *before* it is applied, and every [checkpoint_every]
+   appends the caller snapshots its full state.  Recovery is then
+   [restore checkpoint; replay suffix] — the suffix being the entries
+   appended after the last checkpoint, oldest first.
+
+   The log is polymorphic in both the entry and the checkpoint type so
+   the same module backs event actors, the parametric engine, and the
+   central scheduler.  Entries after the latest checkpoint are kept
+   newest-first (cons is O(1)); [recover] reverses once. *)
+
+type ('entry, 'ckpt) t = {
+  checkpoint_every : int;
+  mutable ckpt : 'ckpt option; (* latest checkpoint, if any *)
+  mutable suffix : 'entry list; (* entries since [ckpt], newest first *)
+  mutable suffix_len : int;
+  mutable appended : int; (* total over the journal's lifetime *)
+  mutable checkpoints : int;
+}
+
+let create ?(checkpoint_every = 32) () =
+  if checkpoint_every <= 0 then
+    invalid_arg "Journal.create: checkpoint_every must be positive";
+  {
+    checkpoint_every;
+    ckpt = None;
+    suffix = [];
+    suffix_len = 0;
+    appended = 0;
+    checkpoints = 0;
+  }
+
+let append t entry =
+  t.suffix <- entry :: t.suffix;
+  t.suffix_len <- t.suffix_len + 1;
+  t.appended <- t.appended + 1
+
+let wants_checkpoint t = t.suffix_len >= t.checkpoint_every
+
+let checkpoint t snapshot =
+  t.ckpt <- Some snapshot;
+  t.suffix <- [];
+  t.suffix_len <- 0;
+  t.checkpoints <- t.checkpoints + 1
+
+let recover t = (t.ckpt, List.rev t.suffix)
+let suffix_length t = t.suffix_len
+let total_appended t = t.appended
+let checkpoints_taken t = t.checkpoints

@@ -1,0 +1,39 @@
+(** Append-only write-ahead log with periodic checkpoints.
+
+    Discipline: {!append} the input {e before} applying it, then apply;
+    when {!wants_checkpoint} turns true (every [checkpoint_every]
+    appends) and the actor is at a transition boundary, {!checkpoint} a
+    snapshot of the full state, which truncates the suffix.  After a
+    crash, {!recover} returns the latest snapshot (if any) plus the
+    entries appended since, oldest first; restoring the snapshot and
+    replaying the suffix with side effects muted reconstructs exactly
+    the pre-crash state — provided state evolution is a deterministic
+    function of the input sequence, which the property suite checks.
+
+    The journal models durable storage inside the simulator, so it
+    deliberately has no serialization: entries and checkpoints are kept
+    as in-memory values of arbitrary type. *)
+
+type ('entry, 'ckpt) t
+
+val create : ?checkpoint_every:int -> unit -> ('entry, 'ckpt) t
+(** [checkpoint_every] (default 32, must be positive) is the number of
+    appends after which {!wants_checkpoint} turns true. *)
+
+val append : ('entry, 'ckpt) t -> 'entry -> unit
+
+val wants_checkpoint : ('entry, 'ckpt) t -> bool
+(** True once the suffix holds at least [checkpoint_every] entries.
+    The caller decides {e when} to act on it: checkpoints must only be
+    taken at a transition boundary, never mid-transition. *)
+
+val checkpoint : ('entry, 'ckpt) t -> 'ckpt -> unit
+(** Record a snapshot and truncate the suffix. *)
+
+val recover : ('entry, 'ckpt) t -> 'ckpt option * 'entry list
+(** Latest checkpoint (or [None] if none was ever taken) and the
+    entries appended after it, oldest first. *)
+
+val suffix_length : ('entry, 'ckpt) t -> int
+val total_appended : ('entry, 'ckpt) t -> int
+val checkpoints_taken : ('entry, 'ckpt) t -> int

@@ -14,6 +14,7 @@ let () =
       ("store", Test_store.suite);
       ("schedulers", Test_sched.suite);
       ("conformance", Test_conformance.suite);
+      ("recovery", Test_recovery.suite);
       ("properties", Test_props.suite);
       ("parametrized", Test_param.suite);
       ("language", Test_lang.suite);
