@@ -187,10 +187,10 @@ let bench_execution () =
         (if r.Event_sched.satisfied then "satisfied" else "VIOLATED");
       Printf.printf "    trace: %s\n" (show_trace r);
       Printf.printf "    msgs: %d (promises %d, reservations %d)\n"
-        (Wf_sim.Stats.count r.Event_sched.stats "messages_sent")
-        (Wf_sim.Stats.count r.Event_sched.stats "promises_granted"
-        + Wf_sim.Stats.count r.Event_sched.stats "promises_granted_conditional")
-        (Wf_sim.Stats.count r.Event_sched.stats "reservations_granted"))
+        (Wf_obs.Metrics.count r.Event_sched.stats "messages_sent")
+        (Wf_obs.Metrics.count r.Event_sched.stats "promises_granted"
+        + Wf_obs.Metrics.count r.Event_sched.stats "promises_granted_conditional")
+        (Wf_obs.Metrics.count r.Event_sched.stats "reservations_granted"))
     cases
 
 (* --- E4: the travel workflow ------------------------------------------------ *)
@@ -352,7 +352,7 @@ let bench_faults () =
           wf
       in
       let msgs (r : Event_sched.result) name =
-        Wf_sim.Stats.count r.Event_sched.stats name
+        Wf_obs.Metrics.count r.Event_sched.stats name
       in
       Printf.printf "%6.2f | %9.1f %6d %7d | %9.1f %6d %7d | %s\n%!" drop_rate
         dist.Event_sched.makespan (msgs dist "messages_sent")
@@ -404,7 +404,7 @@ let bench_crash ?(smoke = false) () =
       let wf = travel_wf ~n () in
       let faults = faults_of prob in
       let count (r : Event_sched.result) name =
-        Wf_sim.Stats.count r.Event_sched.stats name
+        Wf_obs.Metrics.count r.Event_sched.stats name
       in
       let emit c_sched (r : Event_sched.result) =
         let row =
@@ -566,7 +566,7 @@ let bench_precompile () =
 let max_site_load stats num_sites =
   let m = ref 0 in
   for site = 0 to num_sites - 1 do
-    m := max !m (Wf_sim.Stats.count stats (Printf.sprintf "site_recv_%d" site))
+    m := max !m (Wf_obs.Metrics.count stats (Printf.sprintf "site_recv_%d" site))
   done;
   !m
 
@@ -584,10 +584,10 @@ let bench_scalability () =
       let central = Central_sched.run wf in
       Printf.printf "%3d | %9.1f %9d %9d | %9.1f %9d %9d | %s\n%!" n
         dist.Event_sched.makespan
-        (Wf_sim.Stats.count dist.Event_sched.stats "messages_sent")
+        (Wf_obs.Metrics.count dist.Event_sched.stats "messages_sent")
         (max_site_load dist.Event_sched.stats sites)
         central.Event_sched.makespan
-        (Wf_sim.Stats.count central.Event_sched.stats "messages_sent")
+        (Wf_obs.Metrics.count central.Event_sched.stats "messages_sent")
         (max_site_load central.Event_sched.stats sites)
         (if dist.Event_sched.satisfied && central.Event_sched.satisfied then
            "both satisfied"

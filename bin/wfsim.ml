@@ -24,14 +24,35 @@ let show_result verbose (r : Event_sched.result) =
   List.iter
     (fun d -> Format.printf "VIOLATED: %a@." Expr.pp d)
     r.Event_sched.violations;
-  if verbose then Format.printf "stats:@.%a@." Wf_sim.Stats.pp r.Event_sched.stats
+  if verbose then
+    Format.printf "stats:@.%a@." Wf_obs.Metrics.pp r.Event_sched.stats
 
-let run_parametrized seed def templates =
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+let write_trace_files trace_file chrome_file records =
+  (match trace_file with
+  | None -> ()
+  | Some path ->
+      with_out path (fun oc -> Wf_obs.Trace.write_jsonl oc records);
+      Format.printf "wrote %d trace records to %s@." (List.length records) path);
+  match chrome_file with
+  | None -> ()
+  | Some path ->
+      with_out path (fun oc -> Wf_obs.Trace.write_chrome oc records);
+      Format.printf "wrote chrome trace to %s@." path
+
+let run_parametrized seed def templates tracer collector trace_file chrome_file
+    =
   let r =
-    Param_driver.run ~seed:(Int64.of_int seed)
+    Param_driver.run ~seed:(Int64.of_int seed) ?tracer
       ~templates:(List.map snd templates)
       def
   in
+  (match collector with
+  | None -> ()
+  | Some (_, records) -> write_trace_files trace_file chrome_file (records ()));
   Format.printf "parametrized run (%d attempts):@." r.Param_driver.attempts;
   Format.printf "  trace: %a@." Trace.pp r.Param_driver.trace;
   if r.Param_driver.parked_final <> [] then
@@ -67,15 +88,43 @@ let parse_partition s =
       | _ -> fail ())
   | _ -> fail ()
 
+let validate_trace path =
+  match Wf_obs.Trace.validate_file path with
+  | Ok n ->
+      Format.printf "%s: %d schema-valid trace records@." path n;
+      0
+  | Error e ->
+      Format.eprintf "%s: INVALID trace: %s@." path e;
+      1
+
 let run path scheduler seed latency jitter think verbose check_gen drop_rate
     duplicate_rate reorder_rate reorder_window partition_specs crash_prob
-    crash_on_send restart_delay max_crashes checkpoint_every =
+    crash_on_send restart_delay max_crashes checkpoint_every trace_file
+    chrome_file metrics_json validate =
+  match validate with
+  | Some trace_path -> exit (validate_trace trace_path)
+  | None ->
+  let path =
+    match path with
+    | Some p -> p
+    | None ->
+        prerr_endline "wfsim: a SPEC.wf argument is required (or --validate-trace)";
+        exit 2
+  in
   let { Wf_lang.Elaborate.def; templates } = Wf_lang.Elaborate.load_file path in
+  let collector =
+    match (trace_file, chrome_file) with
+    | None, None -> None
+    | _ -> Some (Wf_obs.Trace.collector ())
+  in
+  let tracer = Option.map fst collector in
   if templates <> [] then begin
     if def.Wf_tasks.Workflow_def.deps <> [] then
       Format.printf
         "note: mixing ground and parametrized dependencies; running only the parametrized engine@.";
-    exit (run_parametrized seed def templates)
+    exit
+      (run_parametrized seed def templates tracer collector trace_file
+         chrome_file)
   end;
   let faults =
     {
@@ -105,6 +154,7 @@ let run path scheduler seed latency jitter think verbose check_gen drop_rate
               check_generates = check_gen;
               checkpoint_every;
               faults;
+              tracer;
             }
           def
     | "central" ->
@@ -118,6 +168,7 @@ let run path scheduler seed latency jitter think verbose check_gen drop_rate
               think_time = think;
               checkpoint_every;
               faults;
+              tracer;
             }
           def
     | s ->
@@ -125,11 +176,21 @@ let run path scheduler seed latency jitter think verbose check_gen drop_rate
         exit 2
   in
   show_result verbose r;
+  (match collector with
+  | None -> ()
+  | Some (_, records) -> write_trace_files trace_file chrome_file (records ()));
+  (match metrics_json with
+  | None -> ()
+  | Some mpath ->
+      with_out mpath (fun oc ->
+          output_string oc (Wf_obs.Metrics.to_json r.Event_sched.stats);
+          output_char oc '\n');
+      Format.printf "wrote metrics to %s@." mpath);
   if r.Event_sched.satisfied then 0 else 1
 
 open Cmdliner
 
-let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC.wf")
+let path = Arg.(value & pos 0 (some file) None & info [] ~docv:"SPEC.wf")
 
 let scheduler =
   Arg.(value & opt string "distributed" & info [ "scheduler"; "s" ] ~docv:"KIND" ~doc:"distributed (event-centric) or central (dependency-centric baseline).")
@@ -181,9 +242,25 @@ let checkpoint_every =
   Arg.(value & opt int 32 & info [ "checkpoint-every" ] ~docv:"N"
          ~doc:"Journal appends between state checkpoints: smaller means shorter replays after a crash, larger means cheaper appends.")
 
+let trace_file =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write the structured trace (send/deliver/drop/crash, channel retransmits/acks/epochs, guard-assimilation outcomes) as JSONL, one record per line.")
+
+let chrome_file =
+  Arg.(value & opt (some string) None & info [ "trace-chrome" ] ~docv:"FILE"
+         ~doc:"Write the same trace in Chrome trace_event format (open in chrome://tracing or Perfetto; one track per site).")
+
+let metrics_json =
+  Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE"
+         ~doc:"Write the run's metrics registry (counters, gauges, histogram summaries) as one JSON object.")
+
+let validate =
+  Arg.(value & opt (some file) None & info [ "validate-trace" ] ~docv:"FILE"
+         ~doc:"Standalone mode: validate a JSONL trace written by $(b,--trace) against the record schema (closed kind set, per-kind required fields, non-decreasing time) and exit; no SPEC.wf is run.")
+
 let cmd =
   let doc = "execute a workflow by distributed guard evaluation" in
   Cmd.v (Cmd.info "wfsim" ~doc)
-    Term.(const run $ path $ scheduler $ seed $ latency $ jitter $ think $ verbose $ check_gen $ drop_rate $ duplicate_rate $ reorder_rate $ reorder_window $ partitions $ crash_prob $ crash_on_send $ restart_delay $ max_crashes $ checkpoint_every)
+    Term.(const run $ path $ scheduler $ seed $ latency $ jitter $ think $ verbose $ check_gen $ drop_rate $ duplicate_rate $ reorder_rate $ reorder_window $ partitions $ crash_prob $ crash_on_send $ restart_delay $ max_crashes $ checkpoint_every $ trace_file $ chrome_file $ metrics_json $ validate)
 
 let () = exit (Cmd.eval' cmd)

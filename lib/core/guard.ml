@@ -422,3 +422,34 @@ let map_symbols f g =
          | Some p' -> Some p'
          | None -> None)
        g)
+
+(* --- interned ids -------------------------------------------------------- *)
+
+(* Guards contain Symbol.Map values, whose balanced-tree shape depends
+   on construction order, so the polymorphic hash is not stable across
+   structurally equal guards; the interner is keyed on [compare]
+   instead.  The table is only populated when something asks for uids
+   (i.e. when tracing is enabled) and is dropped by [Intern.clear_memos]
+   alongside the other memo tables. *)
+module GMap = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let uid_table = ref GMap.empty
+let uid_next = ref 0
+
+let () =
+  Intern.register_clearer (fun () ->
+      uid_table := GMap.empty;
+      uid_next := 0)
+
+let uid g =
+  match GMap.find_opt g !uid_table with
+  | Some id -> id
+  | None ->
+      let id = !uid_next in
+      uid_next := id + 1;
+      uid_table := GMap.add g id !uid_table;
+      id

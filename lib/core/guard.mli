@@ -140,3 +140,10 @@ val mask_requirement : Symbol.t -> Symbol_state.mask -> requirement
 val map_symbols : (Symbol.t -> Symbol.t) -> t -> t
 (** Rename every symbol (used to instantiate guard templates, Section 5).
     The mapping must be injective on the guard's symbols. *)
+
+val uid : t -> int
+(** Dense interned id of the guard, keyed on [compare], stable within a
+    process run.  The observability layer uses it to name residual
+    guards in trace records ([Wf_obs.Trace.Assim]); the table is only
+    populated when tracing asks for ids and is reset by
+    [Intern.clear_memos]. *)

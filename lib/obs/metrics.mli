@@ -1,0 +1,95 @@
+(** Typed metrics registry: counters, gauges, and fixed-bucket log-scale
+    histograms.
+
+    This replaces the ad-hoc [Wf_sim.Stats] usage across the runtime
+    stack (network simulator, channel, schedulers, bench harness).
+    Where [Stats] keeps every observed sample in an unbounded list —
+    linear memory per observation and a quadratic accumulate-merge —
+    a {!histogram} here is a fixed array of geometrically spaced
+    buckets: O(1) memory, O(1) observe, O(buckets) merge and quantile.
+
+    {2 Histogram design}
+
+    Buckets grow by ratio 1.05 covering [1e-9, 1e9], with an underflow
+    and an overflow bucket at the ends (values outside the tracked range
+    are counted there and still contribute exactly to n/sum/min/max).
+    Quantiles use the nearest-rank definition: the value reported for
+    [quantile p] is the geometric midpoint of the bucket containing the
+    sample of rank [ceil (p * n)], clamped to the exact observed
+    [min, max].  The relative error versus the exact nearest-rank sample
+    is therefore at most [sqrt 1.05 - 1 < 2.5%] inside the tracked
+    range.  [Wf_sim.Stats] (kept as the exact per-sample utility)
+    serves as the oracle for that bound in the test suite.
+
+    {2 Registry}
+
+    A registry is string-keyed like [Stats], so porting call sites is
+    mechanical: [incr]/[add] for counters, [observe] for histograms,
+    [set_gauge] for gauges.  Names live in disjoint namespaces per type;
+    reusing a counter name as a histogram creates two metrics. *)
+
+type t
+
+type summary = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+(** Same shape as [Wf_sim.Stats.summary]; percentiles are histogram
+    approximations (see above), n/mean/min/max are exact. *)
+
+val create : unit -> t
+
+(** {2 Counters} *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+
+val count : t -> string -> int
+(** 0 for never-touched counters. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {2 Gauges} *)
+
+val set_gauge : t -> string -> float -> unit
+
+val gauge : t -> string -> float option
+
+val gauges : t -> (string * float) list
+
+(** {2 Histograms} *)
+
+val observe : t -> string -> float -> unit
+(** Record a sample.  NaN samples are dropped. *)
+
+val quantile : t -> string -> float -> float
+(** [quantile t name p] with [p] clamped to [0, 1]; [nan] when the
+    histogram is empty or unknown.  [p <= 0] is the exact min,
+    [p >= 1] the exact max. *)
+
+val summarize : t -> string -> summary
+(** All-zero/[nan] summary for unknown names, like [Stats.summarize]. *)
+
+val histogram_names : t -> string list
+
+(** {2 Aggregation and export} *)
+
+val merge : t -> t -> t
+(** Pointwise union: counters add, histograms add bucket-wise (n, sum
+    exact; min/max combine exactly), gauges keep the maximum (gauges
+    are level indicators — e.g. makespan — where max is the meaningful
+    cross-run aggregate).  O(total metrics), independent of how many
+    samples were observed; associative and commutative up to float
+    rounding of sums. *)
+
+val to_json : t -> string
+(** One JSON object: [{"counters":{...},"gauges":{...},
+    "histograms":{name: {n,mean,min,max,p50,p95,p99}}}], keys sorted. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+(** Structured trace layer: typed records at the load-bearing decision
+    points of the stack, behind a sink that costs nothing when absent.
+
+    Producers hold a [sink option] and emit with an inline match —
+    [match tracer with None -> () | Some s -> Trace.emit s (...)] — so
+    a disabled tracer allocates nothing and adds one branch per
+    decision point.  The emission points are:
+
+    - {b Netsim}: [Send] / [Deliver] / [Drop] (link loss, partition,
+      crash window) / [Crash] / [Restart];
+    - {b Channel}: [Retransmit] / [Give_up] / [Ack] (pending entry
+      cleared by an ack) / [Epoch_bump] (restart handshake);
+    - {b schedulers} ([Actor], [Central_sched], [Param_sched]):
+      [Assim], the outcome of assimilating an attempt or occurrence
+      into a guard — enabled, parked, reduced (progress without
+      enabling), rejected, or forced — with the interned id of the
+      guard that was evaluated ({!Wf_core.Guard.uid}).
+
+    {2 Record schema}
+
+    Every record carries simulated time, the site it happened on, and
+    a kind; [actor], [epoch] and [mid] (message id) are optional
+    ([""] / [-1] mean absent and are omitted from exports).  The JSONL
+    export writes one object per line with short keys:
+    [{"t":..,"kind":"send","site":0,"src":0,"dst":1,"control":false}].
+    {!parse_line} / {!validate_file} check the inverse direction
+    (closed kind set, per-kind required fields, non-decreasing time)
+    and are what the CI trace-smoke job runs. *)
+
+type drop_reason = Link | Partition | Crashed
+
+type outcome = Enabled | Parked | Reduced | Rejected | Forced
+
+type kind =
+  | Send of { src : int; dst : int; control : bool }
+  | Deliver of { src : int; dst : int }
+  | Drop of { src : int; dst : int; reason : drop_reason }
+  | Crash
+  | Restart
+  | Retransmit of { dst : int; tries : int }
+  | Give_up of { dst : int }
+  | Ack of { dst : int }
+  | Epoch_bump  (** new epoch in the record's [epoch] field *)
+  | Assim of { outcome : outcome; guard : int }
+
+type record = {
+  time : float;
+  site : int;
+  actor : string;  (** [""] = not actor-scoped *)
+  epoch : int;  (** [-1] = no epoch context *)
+  mid : int;  (** [-1] = no message id *)
+  kind : kind;
+}
+
+val make :
+  time:float -> site:int -> ?actor:string -> ?epoch:int -> ?mid:int -> kind ->
+  record
+
+(** {2 Sinks} *)
+
+type sink
+
+val emit : sink -> record -> unit
+
+val collector : unit -> sink * (unit -> record list)
+(** An in-memory sink; the closure returns records in emission order. *)
+
+val streaming : (record -> unit) -> sink
+(** Wrap any consumer (e.g. a line writer) as a sink. *)
+
+(** {2 Export} *)
+
+val kind_name : record -> string
+(** The wire name of the record's kind: ["send"], ["deliver"],
+    ["drop"], ["crash"], ["restart"], ["retransmit"], ["give_up"],
+    ["ack"], ["epoch_bump"], ["assim"]. *)
+
+val outcome_name : outcome -> string
+
+val line_of : record -> string
+(** One JSONL line (no trailing newline). *)
+
+val write_jsonl : out_channel -> record list -> unit
+
+val write_chrome : out_channel -> record list -> unit
+(** Chrome [trace_event] JSON ([{"traceEvents":[...]}]): instant
+    events, [ts] in microseconds of simulated time, [pid] = site, so a
+    trace opens directly in [chrome://tracing] / Perfetto with one
+    track per site. *)
+
+(** {2 Validation} *)
+
+val parse_line : string -> (record, string) result
+(** Inverse of {!line_of}; rejects unknown kinds, missing per-kind
+    fields, and malformed JSON. *)
+
+val validate_file : string -> (int, string) result
+(** Parse every line of a JSONL trace and check time is non-decreasing;
+    [Ok n] is the number of records, errors carry the line number. *)

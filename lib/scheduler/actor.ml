@@ -6,7 +6,10 @@ type ctx = {
   fire : Literal.t -> unit;
   reject : Literal.t -> unit;
   trigger_task : Literal.t -> bool;
-  stats : Wf_sim.Stats.t;
+  stats : Wf_obs.Metrics.t;
+  emit_assim : (Wf_obs.Trace.outcome -> int -> unit) option;
+      (* trace hook for guard-assimilation outcomes; [None] (replay,
+         tracing off) costs one branch per decision *)
 }
 
 type parked = {
@@ -14,10 +17,19 @@ type parked = {
   via_trigger : bool;
   guard : Guard.t;
   watch : Symbol.Set.t; (* symbols whose news can move this attempt *)
+  mutable evals : int;
+      (* Unknown-status evaluations so far: 0 means the next Unknown is
+         the initial parking, >0 means a re-evaluation (trace Reduced) *)
 }
 
 let park ~pol ~via_trigger guard =
-  { pol; via_trigger; guard; watch = Guard.symbols guard }
+  { pol; via_trigger; guard; watch = Guard.symbols guard; evals = 0 }
+
+(* Trace hook: guard ids are only interned when a sink is listening. *)
+let note_assim ctx outcome guard =
+  match ctx.emit_assim with
+  | None -> ()
+  | Some f -> f outcome (Guard.uid guard)
 
 type t = {
   sym : Symbol.t;
@@ -175,7 +187,7 @@ let pursue ctx t pol g =
               if by_occurrence = Knowledge.True || by_promise = Knowledge.True
               then begin
                 t.promise_requested <- Literal.Set.add cand t.promise_requested;
-                Wf_sim.Stats.incr ctx.stats "promise_requests";
+                Wf_obs.Metrics.incr ctx.stats "promise_requests";
                 ctx.send sym
                   (Messages.Promise_request
                      { target = cand; requester = lit t pol; offers = [ lit t pol ] })
@@ -188,13 +200,13 @@ let do_fire ctx t (p : parked) =
   let l = lit t p.pol in
   let ok =
     if p.via_trigger then begin
-      Wf_sim.Stats.incr ctx.stats "triggers";
+      Wf_obs.Metrics.incr ctx.stats "triggers";
       ctx.trigger_task l
     end
     else true
   in
   if ok then ctx.fire l
-  else Wf_sim.Stats.incr ctx.stats "trigger_faults";
+  else Wf_obs.Metrics.incr ctx.stats "trigger_faults";
   release_all ctx t
 
 let rec try_fire ctx t (p : parked) =
@@ -223,18 +235,26 @@ let rec try_fire ctx t (p : parked) =
           match status with
           | Knowledge.True ->
               t.parked <- List.filter (fun q -> q != p) t.parked;
+              note_assim ctx Wf_obs.Trace.Enabled p.guard;
               do_fire ctx t p
           | Knowledge.False ->
               t.parked <- List.filter (fun q -> q != p) t.parked;
               if (attr_of t p.pol).Attribute.rejectable then begin
+                note_assim ctx Wf_obs.Trace.Rejected p.guard;
                 if not p.via_trigger then ctx.reject (lit t p.pol)
               end
               else begin
-                Wf_sim.Stats.incr ctx.stats "forced_violations";
+                Wf_obs.Metrics.incr ctx.stats "forced_violations";
+                note_assim ctx Wf_obs.Trace.Forced p.guard;
                 do_fire ctx t p
               end
           | Knowledge.Unknown ->
-              Wf_sim.Stats.incr ctx.stats "parked_evaluations";
+              Wf_obs.Metrics.incr ctx.stats "parked_evaluations";
+              note_assim ctx
+                (if p.evals = 0 then Wf_obs.Trace.Parked
+                 else Wf_obs.Trace.Reduced)
+                p.guard;
+              p.evals <- p.evals + 1;
               pursue ctx t p.pol p.guard)
 
 and grant_or_defer ctx t (pol, requester, offers) =
@@ -261,7 +281,7 @@ and grant_or_defer ctx t (pol, requester, offers) =
                && Symbol.compare (Literal.symbol requester) t.sym < 0
                && (attr_of t p.pol).Attribute.rejectable ->
             t.parked <- List.filter (fun q -> q != p) t.parked;
-            Wf_sim.Stats.incr ctx.stats "sacrificed_attempts";
+            Wf_obs.Metrics.incr ctx.stats "sacrificed_attempts";
             ctx.reject (lit t p.pol);
             true
         | _ -> false
@@ -281,7 +301,7 @@ and grant_or_defer ctx t (pol, requester, offers) =
             (* The offers alone enable us: promise and fire at once
                (the mutual-[◇] consensus of Example 11). *)
             t.knowledge <- k_promised;
-            Wf_sim.Stats.incr ctx.stats "promises_granted";
+            Wf_obs.Metrics.incr ctx.stats "promises_granted";
             ctx.send (Literal.symbol requester)
               (Messages.Promise { lit = lit t pol; to_ = requester });
             match existing with
@@ -291,7 +311,7 @@ and grant_or_defer ctx t (pol, requester, offers) =
                 let p = park ~pol ~via_trigger:true (guard_of t pol) in
                 t.parked <- p :: t.parked;
                 try_fire ctx t p)
-        | Knowledge.False -> Wf_sim.Stats.incr ctx.stats "promises_refused"
+        | Knowledge.False -> Wf_obs.Metrics.incr ctx.stats "promises_refused"
         | Knowledge.Unknown -> (
             (* Conditional promise ([14]): if the offered events actually
                occurring would enable us, promise now and fire when their
@@ -305,7 +325,7 @@ and grant_or_defer ctx t (pol, requester, offers) =
             in
             match Knowledge.status ~reserved:t.reserved k_occurred effective with
             | Knowledge.True ->
-                Wf_sim.Stats.incr ctx.stats "promises_granted_conditional";
+                Wf_obs.Metrics.incr ctx.stats "promises_granted_conditional";
                 ctx.send (Literal.symbol requester)
                   (Messages.Promise { lit = lit t pol; to_ = requester });
                 if existing = None && triggerable then begin
@@ -382,7 +402,7 @@ let rec consider_reservation ctx t requester =
   let sym = t.sym in
   if t.decided_pol <> None then begin
     (* The requester hears the announcement (it watches the symbol). *)
-    Wf_sim.Stats.incr ctx.stats "reservations_denied";
+    Wf_obs.Metrics.incr ctx.stats "reservations_denied";
     ctx.send (Literal.symbol requester)
       (Messages.Reserve_denied { sym; to_ = requester })
   end
@@ -403,7 +423,7 @@ let rec consider_reservation ctx t requester =
     in
     if t.holder = None && orderly then begin
       t.holder <- Some requester;
-      Wf_sim.Stats.incr ctx.stats "reservations_granted";
+      Wf_obs.Metrics.incr ctx.stats "reservations_granted";
       ctx.send (Literal.symbol requester)
         (Messages.Reserve_granted { sym; to_ = requester })
     end
@@ -411,7 +431,7 @@ let rec consider_reservation ctx t requester =
       (* Busy: queue until the holder releases. *)
       t.waiters <- t.waiters @ [ requester ]
     else begin
-      Wf_sim.Stats.incr ctx.stats "reservations_denied";
+      Wf_obs.Metrics.incr ctx.stats "reservations_denied";
       ctx.send (Literal.symbol requester)
         (Messages.Reserve_denied { sym; to_ = requester })
     end
@@ -441,9 +461,13 @@ let attempt ?(entailed = Guard.top) ctx t pol =
            it through otherwise. *)
         if (not attr.Attribute.delayable) && List.memq p t.parked then begin
           t.parked <- List.filter (fun q -> q != p) t.parked;
-          if attr.Attribute.rejectable then ctx.reject (lit t pol)
+          if attr.Attribute.rejectable then begin
+            note_assim ctx Wf_obs.Trace.Rejected p.guard;
+            ctx.reject (lit t pol)
+          end
           else begin
-            Wf_sim.Stats.incr ctx.stats "forced_violations";
+            Wf_obs.Metrics.incr ctx.stats "forced_violations";
+            note_assim ctx Wf_obs.Trace.Forced p.guard;
             do_fire ctx t p
           end
         end
@@ -460,7 +484,7 @@ let note_occurred ctx t l ~seqno =
    end);
   (try t.knowledge <- Knowledge.occurred l ~seqno t.knowledge
    with Invalid_argument _ ->
-     Wf_sim.Stats.incr ctx.stats "contradictory_announcements");
+     Wf_obs.Metrics.incr ctx.stats "contradictory_announcements");
   t.reserve_backoff <- Symbol.Set.empty;
   t.promise_requested <-
     Literal.Set.filter
@@ -481,7 +505,7 @@ let handle ctx t msg =
          known fate are counted and ignored. *)
       match Knowledge.fate_of t.knowledge (Literal.symbol l) with
       | Some (Knowledge.Occurred (pol, _)) when pol = l.Literal.pol ->
-          Wf_sim.Stats.incr ctx.stats "duplicate_announcements"
+          Wf_obs.Metrics.incr ctx.stats "duplicate_announcements"
       | _ -> note_occurred ctx t l ~seqno)
   | Messages.Promise { lit = l; _ } ->
       t.knowledge <- Knowledge.promised l t.knowledge;
@@ -520,7 +544,7 @@ let handle ctx t msg =
          absorbs the copy if it already knew. *)
       match (t.decided_pol, Knowledge.seqno_of t.knowledge t.sym) with
       | Some pol, Some seqno ->
-          Wf_sim.Stats.incr ctx.stats "recovery_reannounces";
+          Wf_obs.Metrics.incr ctx.stats "recovery_reannounces";
           ctx.send sym (Messages.Announce { lit = lit t pol; seqno })
       | _ -> ())
 
@@ -530,7 +554,7 @@ let force_reject_parked ctx t =
   List.iter
     (fun p ->
       if not p.via_trigger then ctx.reject (lit t p.pol);
-      Wf_sim.Stats.incr ctx.stats "parked_rejected_at_close")
+      Wf_obs.Metrics.incr ctx.stats "parked_rejected_at_close")
     parked;
   release_all ctx t
 
@@ -567,6 +591,7 @@ let muted_ctx stats =
        (firing is a [ctx] effect, not a state change). *)
     trigger_task = (fun _ -> true);
     stats;
+    emit_assim = None;
   }
 
 type snapshot = {

@@ -41,7 +41,11 @@ type ctx = {
   reject : Literal.t -> unit;  (** permanently forbid an attempt *)
   trigger_task : Literal.t -> bool;
       (** cause the event in the owning task; false on a trigger fault *)
-  stats : Wf_sim.Stats.t;
+  stats : Wf_obs.Metrics.t;
+  emit_assim : (Wf_obs.Trace.outcome -> int -> unit) option;
+      (** trace hook, called with the assimilation outcome and the
+          evaluated guard's {!Wf_core.Guard.uid} at every guard
+          decision; [None] disables emission at the cost of one branch *)
 }
 
 type t
@@ -105,10 +109,11 @@ val apply : ctx -> t -> input -> unit
 (** Dispatch one input to the matching entry point ({!attempt},
     {!note_occurred}, {!handle}, {!force_reject_parked}). *)
 
-val muted_ctx : Wf_sim.Stats.t -> ctx
+val muted_ctx : Wf_obs.Metrics.t -> ctx
 (** A context whose effects are no-ops (and whose trigger always
-    succeeds), for journal replay.  Pass a scratch {!Wf_sim.Stats.t} so
-    replay does not double-count the live run's counters. *)
+    succeeds), for journal replay.  Pass a scratch {!Wf_obs.Metrics.t}
+    so replay does not double-count the live run's counters; the trace
+    hook is off so replayed decisions are not re-traced. *)
 
 type snapshot
 

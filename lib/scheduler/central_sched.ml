@@ -9,6 +9,7 @@ type config = {
   max_steps : int;
   checkpoint_every : int;
   faults : Wf_sim.Netsim.fault_config;
+  tracer : Wf_obs.Trace.sink option;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     max_steps = 2_000_000;
     checkpoint_every = 32;
     faults = Wf_sim.Netsim.no_faults;
+    tracer = None;
   }
 
 type msg =
@@ -163,6 +165,24 @@ let send_to_agent rt instance m =
     Channel.send rt.chan ~src:central_site ~dst:site m
   end
 
+(* Assimilation trace point of the central decision procedure.  The
+   "guard" of the center is the joint residual-automaton state, so the
+   interned id is a fingerprint of the state vector: equal vectors
+   trace equal ids.  Replay is silent — the pre-crash incarnation
+   already emitted these decisions. *)
+let emit_assim rt lit outcome =
+  if not rt.replaying then
+    match Wf_sim.Netsim.tracer rt.net with
+    | None -> ()
+    | Some sink ->
+        let guard = Hashtbl.hash (List.map (fun ds -> ds.state) rt.deps) in
+        Wf_obs.Trace.emit sink
+          (Wf_obs.Trace.make
+             ~time:(Wf_sim.Netsim.now rt.net)
+             ~site:central_site
+             ~actor:(Symbol.name (Literal.symbol lit))
+             (Wf_obs.Trace.Assim { outcome; guard }))
+
 let rec record rt lit =
   if not (decided rt (Literal.symbol lit)) then begin
     Hashtbl.replace rt.decided_set (Literal.symbol lit) ();
@@ -178,14 +198,14 @@ let rec record rt lit =
           time = Wf_sim.Netsim.now rt.net;
         }
         :: rt.occurrences;
-      Wf_sim.Stats.incr (stats rt) "occurrences"
+      Wf_obs.Metrics.incr (stats rt) "occurrences"
     end;
     List.iter
       (fun ds ->
         if mentions ds lit then begin
           ds.state <- Automaton.step ds.automaton ds.state lit;
           if Automaton.is_dead ds.automaton ds.state && not rt.replaying then
-            Wf_sim.Stats.incr (stats rt) "dead_residuals"
+            Wf_obs.Metrics.incr (stats rt) "dead_residuals"
         end)
       rt.deps;
     retry_parked rt;
@@ -196,10 +216,11 @@ let rec record rt lit =
 and retry_parked rt =
   let parked = rt.parked in
   rt.parked <- [];
-  List.iter (fun (lit, entailed) -> decide rt lit entailed) parked
+  List.iter (fun (lit, entailed) -> decide ~retry:true rt lit entailed) parked
 
-and decide rt lit entailed =
+and decide ?(retry = false) rt lit entailed =
   if decided rt (Literal.symbol lit) then begin
+    emit_assim rt lit Wf_obs.Trace.Rejected;
     match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
     | Some instance -> send_to_agent rt instance (Rejected lit)
     | None -> ()
@@ -210,6 +231,7 @@ and decide rt lit entailed =
          ~assumed:(lit :: List.map fst rt.parked)
          lit entailed
   then begin
+    emit_assim rt lit Wf_obs.Trace.Enabled;
     record rt lit;
     match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
     | Some instance -> send_to_agent rt instance (Accepted lit)
@@ -217,14 +239,19 @@ and decide rt lit entailed =
   end
   else if feasible rt lit then begin
     if not rt.replaying then
-      Wf_sim.Stats.incr (stats rt) "parked_evaluations";
+      Wf_obs.Metrics.incr (stats rt) "parked_evaluations";
+    (* a re-examination that stays parked is a reduction step: the
+       state vector moved, the attempt did not yet enable *)
+    emit_assim rt lit
+      (if retry then Wf_obs.Trace.Reduced else Wf_obs.Trace.Parked);
     rt.parked <- (lit, entailed) :: rt.parked
   end
   else begin
     if not rt.replaying then begin
       rt.rejected <- lit :: rt.rejected;
-      Wf_sim.Stats.incr (stats rt) "rejections"
+      Wf_obs.Metrics.incr (stats rt) "rejections"
     end;
+    emit_assim rt lit Wf_obs.Trace.Rejected;
     match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
     | Some instance -> send_to_agent rt instance (Rejected lit)
     | None -> ()
@@ -246,7 +273,7 @@ and fire_triggers rt =
                  .Attribute.triggerable
           then begin
             rt.triggered <- Literal.Set.add l rt.triggered;
-            if not rt.replaying then Wf_sim.Stats.incr (stats rt) "triggers";
+            if not rt.replaying then Wf_obs.Metrics.incr (stats rt) "triggers";
             match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol l) with
             | Some instance -> send_to_agent rt instance (Trigger l)
             | None -> ()
@@ -260,6 +287,7 @@ let apply_center rt = function
   | C_reject lit ->
       rt.parked <-
         List.filter (fun (l, _) -> not (Literal.equal l lit)) rt.parked;
+      emit_assim rt lit Wf_obs.Trace.Rejected;
       if not rt.replaying then begin
         rt.rejected <- lit :: rt.rejected;
         match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
@@ -301,8 +329,8 @@ let recover_center rt =
   | None -> ());
   List.iter (fun input -> apply_center rt input) suffix;
   rt.replaying <- false;
-  Wf_sim.Stats.incr (stats rt) "center_recoveries";
-  Wf_sim.Stats.add (stats rt) "center_replayed_entries" (List.length suffix)
+  Wf_obs.Metrics.incr (stats rt) "center_recoveries";
+  Wf_obs.Metrics.add (stats rt) "center_replayed_entries" (List.length suffix)
 
 let rec schedule_agent rt agent =
   match Agent.want agent with
@@ -314,7 +342,7 @@ let rec schedule_agent rt agent =
       in
       let site = Hashtbl.find rt.agent_site (Agent.instance agent) in
       Wf_sim.Netsim.schedule rt.net ~delay (fun () ->
-          Wf_sim.Stats.incr (stats rt) "attempts";
+          Wf_obs.Metrics.incr (stats rt) "attempts";
           let m =
             if attr.Attribute.controllable then
               Attempt (Literal.pos sym, Agent.would_make_unreachable agent sym)
@@ -346,7 +374,7 @@ let agent_handle rt agent m =
   | Trigger lit -> (
       let site = Hashtbl.find rt.agent_site (Agent.instance agent) in
       match Agent.trigger agent (Literal.symbol lit) with
-      | None -> Wf_sim.Stats.incr (stats rt) "trigger_faults"
+      | None -> Wf_obs.Metrics.incr (stats rt) "trigger_faults"
       | Some complements ->
           Channel.send rt.chan ~src:site ~dst:central_site (Occurred lit);
           List.iter
@@ -368,6 +396,7 @@ let run ?(config = default_config) wf =
            ~jitter:config.jitter)
       ()
   in
+  Wf_sim.Netsim.set_tracer net config.tracer;
   let chan =
     Channel.create
       ~rto:(3.0 *. (config.base_latency +. config.jitter) +. 0.5)

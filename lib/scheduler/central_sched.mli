@@ -32,6 +32,11 @@ type config = {
           model durable transactional tasks: they keep their state
           across a site crash, and deliveries they missed are
           retransmitted. *)
+  tracer : Wf_obs.Trace.sink option;
+      (** structured trace sink (default [None]); the center emits
+          [Assim] records for accept/park/reject decisions with a
+          fingerprint of the joint residual-automaton state as the
+          guard id, silent during journal replay *)
 }
 
 val default_config : config

@@ -1,3 +1,6 @@
+module Metrics = Wf_obs.Metrics
+module Trace = Wf_obs.Trace
+
 type site = Wf_sim.Netsim.site
 
 type 'a wire =
@@ -65,11 +68,27 @@ let rec retransmit t key () =
         (* Keep the message: if the silent destination turns out to have
            crashed, its restart Hello revives the transfer. *)
         Hashtbl.replace t.dead key p;
-        Wf_sim.Stats.incr (stats t) "chan_gave_up"
+        Metrics.incr (stats t) "chan_gave_up";
+        match Wf_sim.Netsim.tracer t.net with
+        | None -> ()
+        | Some sink ->
+            Trace.emit sink
+              (Trace.make
+                 ~time:(Wf_sim.Netsim.now t.net)
+                 ~site:p.p_src ~epoch:p.p_epoch ~mid:p.p_mid
+                 (Trace.Give_up { dst = p.p_dst }))
       end
       else begin
         p.p_tries <- p.p_tries + 1;
-        Wf_sim.Stats.incr (stats t) "chan_retransmits";
+        Metrics.incr (stats t) "chan_retransmits";
+        (match Wf_sim.Netsim.tracer t.net with
+        | None -> ()
+        | Some sink ->
+            Trace.emit sink
+              (Trace.make
+                 ~time:(Wf_sim.Netsim.now t.net)
+                 ~site:p.p_src ~epoch:p.p_epoch ~mid:p.p_mid
+                 (Trace.Retransmit { dst = p.p_dst; tries = p.p_tries })));
         Wf_sim.Netsim.send t.net ~src:p.p_src ~dst:p.p_dst (wire_of p);
         Wf_sim.Netsim.schedule t.net ~delay:(rto_after t p.p_tries)
           (retransmit t key)
@@ -115,7 +134,7 @@ let revive_dead_to t ~observer ~origin =
       Hashtbl.remove t.dead key;
       p.p_tries <- 0;
       Hashtbl.replace t.pending key p;
-      Wf_sim.Stats.incr (stats t) "chan_revived";
+      Metrics.incr (stats t) "chan_revived";
       Wf_sim.Netsim.send t.net ~src:p.p_src ~dst:p.p_dst (wire_of p);
       Wf_sim.Netsim.schedule t.net ~delay:(rto_after t 0) (retransmit t key))
     mine
@@ -157,6 +176,13 @@ let create ?(rto = 3.0) ?(backoff = default_backoff) ?(max_rto = 60.0)
   Wf_sim.Netsim.on_restart net (fun site ->
       t.epochs.(site) <- t.epochs.(site) + 1;
       t.mids.(site) <- 0;
+      (match Wf_sim.Netsim.tracer net with
+      | None -> ()
+      | Some sink ->
+          Trace.emit sink
+            (Trace.make
+               ~time:(Wf_sim.Netsim.now net)
+               ~site ~epoch:t.epochs.(site) Trace.Epoch_bump));
       for dst = 0 to n - 1 do
         if dst <> site then
           Wf_sim.Netsim.send ~control:true t.net ~src:site ~dst
@@ -174,14 +200,14 @@ let on_receive t site handler =
              post-restart (mid 0, epoch n+1) is never suppressed by a
              pre-crash (mid 0, epoch n). *)
           if origin <> site || t.local_reliable then begin
-            Wf_sim.Stats.incr (stats t) "chan_acks";
+            Metrics.incr (stats t) "chan_acks";
             Wf_sim.Netsim.send ~control:true t.net ~src:site ~dst:origin
               (Ack { mid; epoch });
             if origin <> site then note_peer_epoch t ~observer:site ~origin epoch
           end;
           let key = (origin, epoch, mid) in
           if Hashtbl.mem t.seen key then
-            Wf_sim.Stats.incr (stats t) "chan_duplicates_suppressed"
+            Metrics.incr (stats t) "chan_duplicates_suppressed"
           else begin
             Hashtbl.replace t.seen key ();
             handler src payload
@@ -192,7 +218,15 @@ let on_receive t site handler =
           | None -> () (* duplicate ack *)
           | Some p ->
               Hashtbl.remove t.pending key;
-              Wf_sim.Stats.observe (stats t) "ack_latency"
-                (Wf_sim.Netsim.now t.net -. p.p_first_sent))
+              Metrics.observe (stats t) "ack_latency"
+                (Wf_sim.Netsim.now t.net -. p.p_first_sent);
+              (match Wf_sim.Netsim.tracer t.net with
+              | None -> ()
+              | Some sink ->
+                  Trace.emit sink
+                    (Trace.make
+                       ~time:(Wf_sim.Netsim.now t.net)
+                       ~site ~epoch ~mid
+                       (Trace.Ack { dst = p.p_dst }))))
       | Hello { origin; epoch } ->
           if origin <> site then note_peer_epoch t ~observer:site ~origin epoch)

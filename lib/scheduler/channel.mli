@@ -52,9 +52,9 @@
     the network's, so reliable delivery over a faulty network remains
     deterministic and replayable from [(seed, fault_config)].
 
-    Counters in the network's {!Wf_sim.Stats.t}: ["chan_retransmits"],
+    Counters in the network's {!Wf_obs.Metrics.t}: ["chan_retransmits"],
     ["chan_duplicates_suppressed"], ["chan_acks"], ["chan_gave_up"],
-    ["chan_revived"]; series ["ack_latency"] (first send to ack). *)
+    ["chan_revived"]; histogram ["ack_latency"] (first send to ack). *)
 
 type site = Wf_sim.Netsim.site
 
@@ -89,7 +89,7 @@ val on_receive : 'a t -> site -> (site -> 'a -> unit) -> unit
     payload at most once, with the sending site as first argument. *)
 
 val net : 'a t -> 'a wire Wf_sim.Netsim.t
-val stats : 'a t -> Wf_sim.Stats.t
+val stats : 'a t -> Wf_obs.Metrics.t
 
 val epoch : 'a t -> site -> int
 (** Current recovery epoch of the site (0 until its first restart). *)

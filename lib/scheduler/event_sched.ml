@@ -11,6 +11,7 @@ type config = {
   checkpoint_every : int;
   faults : Wf_sim.Netsim.fault_config;
   on_event : occurrence -> unit;
+  tracer : Wf_obs.Trace.sink option;
 }
 
 and occurrence = { lit : Literal.t; seqno : int; time : float }
@@ -26,11 +27,12 @@ let default_config =
     checkpoint_every = 32;
     faults = Wf_sim.Netsim.no_faults;
     on_event = (fun _ -> ());
+    tracer = None;
   }
 
 type result = {
   trace : occurrence list;
-  stats : Wf_sim.Stats.t;
+  stats : Wf_obs.Metrics.t;
   makespan : float;
   satisfied : bool;
   violations : Expr.t list;
@@ -58,7 +60,7 @@ type runtime = {
   actor_seeds : (Symbol.t, unit -> Actor.t) Hashtbl.t;
       (* immutable creation parameters, to re-derive a fresh actor on
          recovery (configuration is spec-derived, not journaled) *)
-  replay_stats : Wf_sim.Stats.t; (* scratch sink for muted replays *)
+  replay_stats : Wf_obs.Metrics.t; (* scratch sink for muted replays *)
   agents : (string, Agent.t) Hashtbl.t;
   agent_of_symbol : (Symbol.t, string) Hashtbl.t;
   subscriptions : (Symbol.t, Symbol.Set.t) Hashtbl.t;
@@ -96,11 +98,24 @@ let rec ctx_for rt (actor : Actor.t) : Actor.ctx =
               let dst_site = Actor.site (actor_of rt dst) in
               Channel.send rt.chan ~src:(Actor.site actor) ~dst:dst_site
                 (dst, msg);
-              Wf_sim.Stats.incr (stats rt) ("msg_" ^ Messages.label msg));
+              Wf_obs.Metrics.incr (stats rt) ("msg_" ^ Messages.label msg));
           Actor.fire = (fun lit -> fire rt lit);
           Actor.reject = (fun lit -> reject rt lit);
           Actor.trigger_task = (fun lit -> trigger_task rt lit);
           Actor.stats = stats rt;
+          Actor.emit_assim =
+            (match Wf_sim.Netsim.tracer rt.net with
+            | None -> None
+            | Some sink ->
+                let site = Actor.site actor in
+                let name = Symbol.name sym in
+                Some
+                  (fun outcome guard ->
+                    Wf_obs.Trace.emit sink
+                      (Wf_obs.Trace.make
+                         ~time:(Wf_sim.Netsim.now rt.net)
+                         ~site ~actor:name
+                         (Wf_obs.Trace.Assim { outcome; guard }))));
         }
       in
       Hashtbl.add rt.ctxs sym ctx;
@@ -132,7 +147,7 @@ and fire rt lit =
     rt.occurrences <- occurrence :: rt.occurrences;
     Hashtbl.replace rt.decided_set (Literal.symbol lit) ();
     rt.cfg.on_event occurrence;
-    Wf_sim.Stats.incr (stats rt) "occurrences";
+    Wf_obs.Metrics.incr (stats rt) "occurrences";
     (* Own actor learns first (it hosts the event). *)
     let actor = actor_of rt sym in
     deliver rt actor (Actor.I_occurred { lit; seqno });
@@ -161,7 +176,7 @@ and fire rt lit =
           let dst_site = Actor.site (actor_of rt watcher_sym) in
           Channel.send rt.chan ~src:(Actor.site actor) ~dst:dst_site
             (watcher_sym, Messages.Announce { lit; seqno });
-          Wf_sim.Stats.incr (stats rt) "msg_announce"
+          Wf_obs.Metrics.incr (stats rt) "msg_announce"
         end)
       (subscribers_of rt sym);
     (* Newly impossible events: their complements occur. *)
@@ -170,7 +185,7 @@ and fire rt lit =
 
 and reject rt lit =
   rt.rejected <- lit :: rt.rejected;
-  Wf_sim.Stats.incr (stats rt) "rejections";
+  Wf_obs.Metrics.incr (stats rt) "rejections";
   match Hashtbl.find_opt rt.agent_of_symbol (Literal.symbol lit) with
   | None -> ()
   | Some instance ->
@@ -200,7 +215,7 @@ and schedule_agent rt agent =
         Wf_sim.Rng.exponential (Wf_sim.Netsim.rng rt.net) ~mean:rt.cfg.think_time
       in
       Wf_sim.Netsim.schedule rt.net ~delay (fun () ->
-          Wf_sim.Stats.incr (stats rt) "attempts";
+          Wf_obs.Metrics.incr (stats rt) "attempts";
           if attr.Attribute.controllable then begin
             let actor = actor_of rt sym in
             (* Vet the complements the transition entails together with
@@ -223,7 +238,7 @@ and schedule_agent rt agent =
                  (Compile.plan rt.compiled (Literal.pos sym)).Compile.guard
              with
             | Knowledge.False ->
-                Wf_sim.Stats.incr (stats rt) "uncontrollable_violations"
+                Wf_obs.Metrics.incr (stats rt) "uncontrollable_violations"
             | _ -> ());
             fire rt (Literal.pos sym)
           end)
@@ -242,8 +257,8 @@ let recover_actor rt sym =
   List.iter (fun input -> Actor.apply mctx fresh input) suffix;
   Hashtbl.replace rt.actors sym fresh;
   Hashtbl.remove rt.ctxs sym;
-  Wf_sim.Stats.incr (stats rt) "actor_recoveries";
-  Wf_sim.Stats.add (stats rt) "replayed_entries" (List.length suffix)
+  Wf_obs.Metrics.incr (stats rt) "actor_recoveries";
+  Wf_obs.Metrics.add (stats rt) "replayed_entries" (List.length suffix)
 
 let build cfg wf =
   let deps = Workflow_def.dependencies wf in
@@ -255,6 +270,7 @@ let build cfg wf =
         (Wf_sim.Netsim.uniform_latency ~base:cfg.base_latency ~jitter:cfg.jitter)
       ()
   in
+  Wf_sim.Netsim.set_tracer net cfg.tracer;
   (* Retransmission timeout: generously above one round trip, so the
      fault-free fast path rarely fires a retransmit. *)
   let chan =
@@ -271,7 +287,7 @@ let build cfg wf =
       ctxs = Hashtbl.create 64;
       journals = Hashtbl.create 64;
       actor_seeds = Hashtbl.create 64;
-      replay_stats = Wf_sim.Stats.create ();
+      replay_stats = Wf_obs.Metrics.create ();
       agents = Hashtbl.create 16;
       agent_of_symbol = Hashtbl.create 64;
       subscriptions = Hashtbl.create 64;
@@ -434,7 +450,7 @@ let build cfg wf =
                   let dst_site = Actor.site (actor_of rt peer) in
                   Channel.send rt.chan ~src:site ~dst:dst_site
                     (peer, Messages.Recovered { sym; epoch });
-                  Wf_sim.Stats.incr (stats rt) "msg_recovered"
+                  Wf_obs.Metrics.incr (stats rt) "msg_recovered"
                 end)
               (Actor.watched_symbols actor))
         hosted);

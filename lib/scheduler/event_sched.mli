@@ -39,6 +39,13 @@ type config = {
   on_event : occurrence -> unit;
       (** invoked at each occurrence, in order — the hook by which task
           effects (e.g. store updates) attach to significant events *)
+  tracer : Wf_obs.Trace.sink option;
+      (** structured trace sink (default [None], zero overhead beyond a
+          branch).  When set, the network emits send/deliver/drop/crash
+          records, the channel retransmit/ack/epoch records, and every
+          actor its guard-assimilation outcomes ([Assim] records with
+          the evaluated guard's interned id).  Journal replay after a
+          crash never re-emits. *)
 }
 
 and occurrence = { lit : Literal.t; seqno : int; time : float }
@@ -47,7 +54,7 @@ val default_config : config
 
 type result = {
   trace : occurrence list;  (** in occurrence order *)
-  stats : Wf_sim.Stats.t;
+  stats : Wf_obs.Metrics.t;
   makespan : float;
   satisfied : bool;  (** every dependency holds on the realized trace *)
   violations : Expr.t list;

@@ -8,8 +8,10 @@ type result = {
   finished : bool;
 }
 
-let run ?(seed = 42L) ?(max_steps = 100_000) ?crash_every ~templates wf =
+let run ?(seed = 42L) ?(max_steps = 100_000) ?crash_every ?tracer ~templates wf
+    =
   let engine = ref (Param_sched.create templates) in
+  Param_sched.set_tracer !engine tracer;
   let rng = Wf_sim.Rng.create seed in
   let agents =
     List.map

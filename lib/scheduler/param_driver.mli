@@ -17,10 +17,13 @@ val run :
   ?seed:int64 ->
   ?max_steps:int ->
   ?crash_every:int ->
+  ?tracer:Wf_obs.Trace.sink ->
   templates:Ptemplate.t list ->
   Workflow_def.t ->
   result
 (** [crash_every:k] crashes the engine after every [k]-th attempt and
     rebuilds it from its write-ahead journal ({!Param_sched.recover});
     replay determinism makes the run indistinguishable from an
-    uncrashed one. *)
+    uncrashed one.  [tracer] attaches a structured trace sink to the
+    engine ({!Param_sched.set_tracer}); it survives the injected
+    crashes. *)

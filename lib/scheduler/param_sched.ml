@@ -28,6 +28,10 @@ type t = {
   mutable seqno : int;
   mutable occurrences : Literal.t list; (* newest first *)
   mutable parked_syms : Symbol.t list;
+  mutable tracer : Wf_obs.Trace.sink option;
+  mutable tick : int;
+      (* logical time for trace records: the engine has no simulated
+         clock, so records are stamped with the input count *)
 }
 
 let fresh_marker = "*"
@@ -73,6 +77,8 @@ let create ?(checkpoint_every = 32) deps =
     seqno = 0;
     occurrences = [];
     parked_syms = [];
+    tracer = None;
+    tick = 0;
   }
 
 (* --- variable handling on marked symbols -------------------------------- *)
@@ -178,6 +184,35 @@ let instance_status t template ~bound =
       let fresh_bindings = List.map (fun v -> (v, fresh_marker)) free in
       combine seen_part (eval_fresh t (subst fresh_bindings g0))
 
+(* --- tracing ------------------------------------------------------------- *)
+
+let set_tracer t sink = t.tracer <- sink
+
+(* The guard id of a decision about [sym]: the interned id of the first
+   matching positive template's instance guard.  Only computed (and
+   only interned) when a sink is listening. *)
+let guard_uid_for t sym =
+  let rec find = function
+    | [] -> -1
+    | (_, (atom : Ptemplate.atom), template) :: rest ->
+        if atom.Ptemplate.pol <> Literal.Pos then find rest
+        else (
+          match Ptemplate.match_symbol atom sym with
+          | None -> find rest
+          | Some bound -> Guard.uid (subst bound template))
+  in
+  find t.templates
+
+let emit_assim t sym outcome =
+  match t.tracer with
+  | None -> ()
+  | Some sink ->
+      Wf_obs.Trace.emit sink
+        (Wf_obs.Trace.make
+           ~time:(float_of_int t.tick)
+           ~site:0 ~actor:(Symbol.name sym)
+           (Wf_obs.Trace.Assim { outcome; guard = guard_uid_for t sym }))
+
 (* --- the engine ---------------------------------------------------------- *)
 
 let decide t sym =
@@ -227,9 +262,12 @@ let rec retry_parked ?touched t =
         else
           match decide t sym with
           | Knowledge.True ->
+              emit_assim t sym Wf_obs.Trace.Enabled;
               record t (Literal.pos sym);
               false
-          | Knowledge.False | Knowledge.Unknown -> true)
+          | Knowledge.False | Knowledge.Unknown ->
+              emit_assim t sym Wf_obs.Trace.Reduced;
+              true)
       parked
   in
   if List.length still < List.length parked then begin
@@ -243,11 +281,15 @@ let apply_attempt t sym =
   else
     match decide t sym with
     | Knowledge.True ->
+        emit_assim t sym Wf_obs.Trace.Enabled;
         record t (Literal.pos sym);
         retry_parked t;
         Accepted
-    | Knowledge.False -> Rejected
+    | Knowledge.False ->
+        emit_assim t sym Wf_obs.Trace.Rejected;
+        Rejected
     | Knowledge.Unknown ->
+        emit_assim t sym Wf_obs.Trace.Parked;
         if not (List.exists (Symbol.equal sym) t.parked_syms) then
           t.parked_syms <- sym :: t.parked_syms;
         Parked
@@ -291,17 +333,21 @@ let maybe_checkpoint t =
 
 let attempt t sym =
   Wf_store.Journal.append t.journal (P_attempt sym);
+  t.tick <- t.tick + 1;
   let out = apply_attempt t sym in
   maybe_checkpoint t;
   out
 
 let occurred t lit =
   Wf_store.Journal.append t.journal (P_occurred lit);
+  t.tick <- t.tick + 1;
   apply_occurred t lit;
   maybe_checkpoint t
 
 let recover t =
   let fresh = { (create t.deps) with journal = t.journal } in
+  (* replay is silent: [fresh] starts with no tracer, so re-applied
+     inputs do not re-emit decisions the pre-crash engine traced *)
   let ckpt, suffix = Wf_store.Journal.recover t.journal in
   (match ckpt with Some s -> restore fresh s | None -> ());
   List.iter
@@ -309,6 +355,8 @@ let recover t =
       | P_attempt sym -> ignore (apply_attempt fresh sym)
       | P_occurred lit -> apply_occurred fresh lit)
     suffix;
+  fresh.tracer <- t.tracer;
+  fresh.tick <- t.tick;
   fresh
 
 let equal_state a b =

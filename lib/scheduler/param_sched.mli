@@ -27,6 +27,14 @@ val create : ?checkpoint_every:int -> Ptemplate.t list -> t
     [checkpoint_every] (default 32) sets the engine's write-ahead
     journal cadence; see {!recover}. *)
 
+val set_tracer : t -> Wf_obs.Trace.sink option -> unit
+(** Attach a structured trace sink: decisions emit
+    [Wf_obs.Trace.Assim] records (enabled / parked / reduced /
+    rejected) whose guard id is the interned instance guard of the
+    first matching template.  The engine has no simulated clock, so
+    records are stamped with a logical tick (one per journaled input).
+    {!recover} replays silently and carries the sink over. *)
+
 val attempt : t -> Symbol.t -> outcome
 (** Attempt a ground positive event token, e.g. [b_t1(3)].  [Accepted]
     records the occurrence and re-evaluates parked tokens; [Parked]

@@ -1,3 +1,6 @@
+module Metrics = Wf_obs.Metrics
+module Trace = Wf_obs.Trace
+
 type site = int
 
 type latency = { base : float; jitter : float }
@@ -39,7 +42,14 @@ let no_faults =
   }
 
 type 'msg event =
-  | Deliver of { src : site; dst : site; control : bool; payload : 'msg }
+  | Deliver of {
+      src : site;
+      dst : site;
+      control : bool;
+      sent : float;  (** send-time clock; latency is measured at the
+                         moment the handler actually runs *)
+      payload : 'msg;
+    }
   | Action of (unit -> unit)
 
 type 'msg t = {
@@ -50,7 +60,8 @@ type 'msg t = {
   crash_rng : Rng.t;
       (* crash draws use their own stream so enabling crash injection
          does not perturb latency/think-time draws of the main stream *)
-  stats : Stats.t;
+  stats : Metrics.t;
+  mutable tracer : Trace.sink option;
   queue : 'msg event Heap.t;
   handlers : (site -> 'msg -> unit) option array;
   last_delivery : (site * site, float) Hashtbl.t;
@@ -78,7 +89,8 @@ let create ?(seed = 42L) ?(faults = no_faults) ~num_sites ~latency () =
       faults;
       rng = Rng.create seed;
       crash_rng = Rng.create (Int64.logxor seed 0x9E3779B97F4A7C15L);
-      stats = Stats.create ();
+      stats = Metrics.create ();
+      tracer = None;
       queue = Heap.create ();
       handlers = Array.make num_sites None;
       last_delivery = Hashtbl.create 64;
@@ -114,6 +126,8 @@ let now t = t.clock
 let stats t = t.stats
 let fault_config t = t.faults
 let rng t = t.rng
+let set_tracer t sink = t.tracer <- sink
+let tracer t = t.tracer
 
 let on_receive t site handler =
   if site < 0 || site >= t.num_sites then
@@ -140,14 +154,22 @@ let crash_site t site =
   if site < 0 || site >= t.num_sites then invalid_arg "Netsim.crash_site";
   if not t.crashed.(site) then begin
     t.crashed.(site) <- true;
-    Stats.incr t.stats "net_crashes"
+    Metrics.incr t.stats "net_crashes";
+    match t.tracer with
+    | None -> ()
+    | Some sink ->
+        Trace.emit sink (Trace.make ~time:t.clock ~site Trace.Crash)
   end
 
 let restart_site t site =
   if site < 0 || site >= t.num_sites then invalid_arg "Netsim.restart_site";
   if t.crashed.(site) then begin
     t.crashed.(site) <- false;
-    Stats.incr t.stats "net_restarts";
+    Metrics.incr t.stats "net_restarts";
+    (match t.tracer with
+    | None -> ()
+    | Some sink ->
+        Trace.emit sink (Trace.make ~time:t.clock ~site Trace.Restart));
     List.iter (fun hook -> hook site) t.restart_hooks
   end
 
@@ -198,7 +220,7 @@ let enqueue_delivery t ~src ~dst ~control payload =
   in
   let delay =
     if reordered then begin
-      Stats.incr t.stats "net_reordered";
+      Metrics.incr t.stats "net_reordered";
       delay +. Rng.float t.rng fc.reorder_window
     end
     else delay
@@ -216,26 +238,42 @@ let enqueue_delivery t ~src ~dst ~control payload =
       | _ -> arrival
   in
   if not reordered then Hashtbl.replace t.last_delivery key arrival;
-  Stats.incr t.stats (Printf.sprintf "site_recv_%d" dst);
-  Stats.observe t.stats "message_latency" (arrival -. t.clock);
+  (* Receive-side stats (site_recv_*, message_latency) are recorded at
+     actual delivery in [run], not here: a message enqueued into a
+     site's crash window is swallowed and must not count as received. *)
   Heap.push t.queue ~key:arrival ~seq:(next_seq t)
-    (Deliver { src; dst; control; payload })
+    (Deliver { src; dst; control; sent = t.clock; payload })
 
 let send ?(control = false) t ~src ~dst payload =
-  Stats.incr t.stats "messages_sent";
-  if src <> dst then Stats.incr t.stats "messages_remote";
+  Metrics.incr t.stats "messages_sent";
+  if src <> dst then Metrics.incr t.stats "messages_remote";
+  (match t.tracer with
+  | None -> ()
+  | Some sink ->
+      Trace.emit sink
+        (Trace.make ~time:t.clock ~site:src
+           (Trace.Send { src; dst; control })));
   let fc = t.faults in
+  let drop reason counter =
+    Metrics.incr t.stats counter;
+    match t.tracer with
+    | None -> ()
+    | Some sink ->
+        Trace.emit sink
+          (Trace.make ~time:t.clock ~site:src
+             (Trace.Drop { src; dst; reason }))
+  in
   if src <> dst && partitioned t src dst then
-    Stats.incr t.stats "net_partition_drops"
+    drop Trace.Partition "net_partition_drops"
   else if src <> dst && fc.drop_rate > 0.0 && Rng.float t.rng 1.0 < fc.drop_rate
-  then Stats.incr t.stats "net_drops"
+  then drop Trace.Link "net_drops"
   else begin
     enqueue_delivery t ~src ~dst ~control payload;
     if
       src <> dst && fc.duplicate_rate > 0.0
       && Rng.float t.rng 1.0 < fc.duplicate_rate
     then begin
-      Stats.incr t.stats "net_duplicates";
+      Metrics.incr t.stats "net_duplicates";
       enqueue_delivery t ~src ~dst ~control payload
     end
   end;
@@ -265,22 +303,40 @@ let run ?(until = infinity) ?(max_steps = max_int) t =
             incr steps;
             match event with
             | Action f -> f ()
-            | Deliver { src; dst; control; payload } ->
+            | Deliver { src; dst; control; sent; payload } ->
                 if t.paused.(dst) then begin
-                  Stats.incr t.stats "net_stalled";
+                  Metrics.incr t.stats "net_stalled";
+                  (* keep the original send time: latency observed at
+                     eventual delivery includes the stall *)
                   t.stalled.(dst) <-
-                    Deliver { src; dst; control; payload } :: t.stalled.(dst)
+                    Deliver { src; dst; control; sent; payload }
+                    :: t.stalled.(dst)
                 end
-                else if t.crashed.(dst) then
+                else if t.crashed.(dst) then begin
                   (* A crashed process receives nothing; the channel's
                      retransmission layer recovers the loss after the
                      epoch handshake. *)
-                  Stats.incr t.stats "net_crash_drops"
+                  Metrics.incr t.stats "net_crash_drops";
+                  match t.tracer with
+                  | None -> ()
+                  | Some sink ->
+                      Trace.emit sink
+                        (Trace.make ~time:t.clock ~site:dst
+                           (Trace.Drop { src; dst; reason = Trace.Crashed }))
+                end
                 else begin
-                  Stats.incr t.stats "messages_delivered";
+                  Metrics.incr t.stats "messages_delivered";
+                  Metrics.incr t.stats (Printf.sprintf "site_recv_%d" dst);
+                  Metrics.observe t.stats "message_latency" (t.clock -. sent);
+                  (match t.tracer with
+                  | None -> ()
+                  | Some sink ->
+                      Trace.emit sink
+                        (Trace.make ~time:t.clock ~site:dst
+                           (Trace.Deliver { src; dst })));
                   (match t.handlers.(dst) with
                   | Some h -> h src payload
-                  | None -> Stats.incr t.stats "messages_dropped");
+                  | None -> Metrics.incr t.stats "messages_dropped");
                   (* Crash-on-deliver point: the receiving process dies
                      right after the handler ran — the transition took
                      effect and was journaled, but anything volatile is

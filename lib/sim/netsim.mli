@@ -94,8 +94,28 @@ val create :
 val uniform_latency : base:float -> jitter:float -> site -> site -> latency
 
 val now : 'msg t -> float
-val stats : 'msg t -> Stats.t
+
+val stats : 'msg t -> Wf_obs.Metrics.t
+(** The network's metrics registry.  Counters named above land here;
+    receive-side metrics (["site_recv_%d"], ["message_latency"]) are
+    recorded at the moment a handler actually runs — a message
+    swallowed by a crash window or still stalled behind a pause has
+    not been received and only shows up in ["net_crash_drops"] /
+    ["net_stalled"].  Latency of a stalled-then-flushed delivery
+    includes the stall. *)
+
 val rng : 'msg t -> Rng.t
+
+val set_tracer : 'msg t -> Wf_obs.Trace.sink option -> unit
+(** Attach (or detach) a structured trace sink.  When a sink is set the
+    simulator emits {!Wf_obs.Trace} records for send / deliver / drop
+    (link, partition, crash window) / crash / restart; with [None]
+    (the default) the emission points cost one branch and allocate
+    nothing. *)
+
+val tracer : 'msg t -> Wf_obs.Trace.sink option
+(** The attached sink, for layers above (channel, schedulers) to share
+    the network's trace stream. *)
 
 val fault_config : 'msg t -> fault_config
 (** The fault configuration the network was created with; layers above

@@ -28,9 +28,16 @@ type summary = {
   p99 : float;
 }
 
+(* Nearest-rank percentile: the smallest sample such that at least
+   [p * n] samples are <= it, i.e. index [ceil (p * n) - 1] of the
+   sorted array.  The previous definition truncated [p * (n - 1)]
+   downward, which biased high percentiles low: p99 of 50 samples read
+   index 48 instead of 49, p95 index 46 instead of 47. *)
 let percentile sorted p =
   let n = Array.length sorted in
-  let idx = int_of_float (p *. float_of_int (n - 1)) in
+  let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+  let idx = rank - 1 in
+  let idx = if idx < 0 then 0 else if idx > n - 1 then n - 1 else idx in
   sorted.(idx)
 
 let summarize t name =
@@ -55,11 +62,17 @@ let summarize t name =
 let counters t = SMap.bindings t.counts
 let series_names t = List.map fst (SMap.bindings t.series)
 
+(* Ordering contract: series are newest-first and [merge a b] treats
+   [b]'s samples as newer than [a]'s, so [b]'s series is prepended.
+   Under the usual accumulation pattern [agg := merge !agg batch] the
+   cost is linear in the batch ([y @ x] copies only [y]), where the
+   previous [x @ y] re-copied the whole accumulator on every merge —
+   quadratic over a run — and interleaved old samples in front of new
+   ones. *)
 let merge a b =
   {
-    counts =
-      SMap.union (fun _ x y -> Some (x + y)) a.counts b.counts;
-    series = SMap.union (fun _ x y -> Some (x @ y)) a.series b.series;
+    counts = SMap.union (fun _ x y -> Some (x + y)) a.counts b.counts;
+    series = SMap.union (fun _ x y -> Some (y @ x)) a.series b.series;
   }
 
 let pp ppf t =

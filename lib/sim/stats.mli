@@ -25,6 +25,10 @@ val summarize : t -> string -> summary option
 val counters : t -> (string * int) list
 val series_names : t -> string list
 val merge : t -> t -> t
-(** Pointwise sum of counters and concatenation of series. *)
+(** Pointwise sum of counters and concatenation of series.  Series are
+    newest-first and [merge a b] treats [b] as the newer batch: [b]'s
+    samples end up in front of [a]'s, and the cost is linear in [b]'s
+    series, so accumulating with [agg := merge !agg batch] is linear
+    overall. *)
 
 val pp : Format.formatter -> t -> unit

@@ -39,26 +39,26 @@ let test_clean_network () =
   exactly_once "clean" received 100;
   check Alcotest.int "nothing pending" 0 (Channel.unacked chan);
   check Alcotest.int "no retransmits on a clean link" 0
-    (Stats.count (Netsim.stats net) "chan_retransmits")
+    (Wf_obs.Metrics.count (Netsim.stats net) "chan_retransmits")
 
 let test_lossy_network () =
   let faults = { Netsim.no_faults with drop_rate = 0.3 } in
   let net, chan, received = collect ~faults () in
   exactly_once "lossy" received 100;
   check Alcotest.int "nothing pending" 0 (Channel.unacked chan);
-  checkb "drops happened" (Stats.count (Netsim.stats net) "net_drops" > 0);
+  checkb "drops happened" (Wf_obs.Metrics.count (Netsim.stats net) "net_drops" > 0);
   checkb "retransmits happened"
-    (Stats.count (Netsim.stats net) "chan_retransmits" > 0);
-  checkb "nothing given up" (Stats.count (Netsim.stats net) "chan_gave_up" = 0)
+    (Wf_obs.Metrics.count (Netsim.stats net) "chan_retransmits" > 0);
+  checkb "nothing given up" (Wf_obs.Metrics.count (Netsim.stats net) "chan_gave_up" = 0)
 
 let test_duplicating_network () =
   let faults = { Netsim.no_faults with duplicate_rate = 0.5 } in
   let net, _, received = collect ~faults () in
   exactly_once "duplicating" received 100;
   checkb "network duplicated"
-    (Stats.count (Netsim.stats net) "net_duplicates" > 0);
+    (Wf_obs.Metrics.count (Netsim.stats net) "net_duplicates" > 0);
   checkb "duplicates suppressed"
-    (Stats.count (Netsim.stats net) "chan_duplicates_suppressed" > 0)
+    (Wf_obs.Metrics.count (Netsim.stats net) "chan_duplicates_suppressed" > 0)
 
 let test_chaotic_network () =
   (* Everything at once, still exactly-once. *)
@@ -98,7 +98,7 @@ let test_partition_window () =
   let net, _, received = collect ~n:20 ~faults () in
   exactly_once "partition" received 20;
   checkb "partition cut traffic"
-    (Stats.count (Netsim.stats net) "net_partition_drops" > 0);
+    (Wf_obs.Metrics.count (Netsim.stats net) "net_partition_drops" > 0);
   checkb "deliveries happened after the window" (Netsim.now net >= 50.0)
 
 let test_pause_resume () =
@@ -114,15 +114,13 @@ let test_pause_resume () =
   Netsim.schedule net ~delay:30.0 (fun () -> Netsim.resume_site net 1);
   Netsim.run net;
   exactly_once "pause/resume" (List.rev !received) 10;
-  checkb "deliveries stalled" (Stats.count (Netsim.stats net) "net_stalled" > 0)
+  checkb "deliveries stalled" (Wf_obs.Metrics.count (Netsim.stats net) "net_stalled" > 0)
 
 let test_ack_latency_observed () =
   let net, _, _ = collect ~n:10 () in
-  match Stats.summarize (Netsim.stats net) "ack_latency" with
-  | Some s ->
-      check Alcotest.int "one sample per message" 10 s.Stats.n;
-      checkb "ack latency covers a round trip" (s.Stats.min >= 2.0)
-  | None -> Alcotest.fail "expected ack_latency series"
+  let s = Wf_obs.Metrics.summarize (Netsim.stats net) "ack_latency" in
+  check Alcotest.int "one sample per message" 10 s.Wf_obs.Metrics.n;
+  checkb "ack latency covers a round trip" (s.Wf_obs.Metrics.min >= 2.0)
 
 let test_retry_cap () =
   (* A link severed forever: the sender must give up after the cap, not
@@ -147,9 +145,9 @@ let test_retry_cap () =
   Channel.send chan ~src:0 ~dst:1 "doomed";
   Netsim.run net;
   check Alcotest.int "gave up once" 1
-    (Stats.count (Netsim.stats net) "chan_gave_up");
+    (Wf_obs.Metrics.count (Netsim.stats net) "chan_gave_up");
   check Alcotest.int "retried exactly max_retries times" 5
-    (Stats.count (Netsim.stats net) "chan_retransmits");
+    (Wf_obs.Metrics.count (Netsim.stats net) "chan_retransmits");
   check Alcotest.int "nothing pending" 0 (Channel.unacked chan)
 
 let suite =

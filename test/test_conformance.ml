@@ -127,7 +127,7 @@ let test_conformance_reliable () =
 let test_conformance_faulty () =
   (* Aggregate the counters across the sweep: the fault layer and the
      reliable channel must both demonstrably engage. *)
-  let agg = ref (Wf_sim.Stats.create ()) in
+  let agg = ref (Wf_obs.Metrics.create ()) in
   List.iter
     (fun path ->
       let { Wf_lang.Elaborate.def; templates } =
@@ -154,11 +154,11 @@ let test_conformance_faulty () =
                     (name ^ ": denotation of " ^ Expr.to_string dep)
                     (satisfied_by_denotation dep trace))
                 deps;
-              agg := Wf_sim.Stats.merge !agg r.Event_sched.stats
+              agg := Wf_obs.Metrics.merge !agg r.Event_sched.stats
             done)
           [ `Distributed; `Central ])
     (spec_files ());
-  let count name = Wf_sim.Stats.count !agg name in
+  let count name = Wf_obs.Metrics.count !agg name in
   checkb "network dropped messages" (count "net_drops" > 0);
   checkb "network duplicated messages" (count "net_duplicates" > 0);
   checkb "partition cut messages" (count "net_partition_drops" > 0);

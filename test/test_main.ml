@@ -10,6 +10,7 @@ let () =
       ("synthesis", Test_synth.suite);
       ("simulator", Test_sim.suite);
       ("channel", Test_channel.suite);
+      ("observability", Test_obs.suite);
       ("tasks", Test_tasks.suite);
       ("store", Test_store.suite);
       ("schedulers", Test_sched.suite);

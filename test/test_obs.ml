@@ -1,0 +1,458 @@
+(* The observability layer: typed metrics registry (counters, gauges,
+   log-scale histograms), the structured trace with its JSONL schema,
+   and the fixed [Wf_sim.Stats] percentile/merge it replaces.  The
+   exact per-sample [Stats] serves as the oracle for the histogram
+   quantile error bound. *)
+
+open Wf_scheduler
+open Helpers
+module Metrics = Wf_obs.Metrics
+module Trace = Wf_obs.Trace
+module Json = Wf_obs.Json
+module Stats = Wf_sim.Stats
+
+(* --- Stats: nearest-rank percentile regression --------------------------- *)
+
+let stats_summary samples =
+  let s = Stats.create () in
+  List.iter (Stats.observe s "x") samples;
+  match Stats.summarize s "x" with
+  | Some sum -> sum
+  | None -> Alcotest.fail "summary expected"
+
+let test_percentile_nearest_rank () =
+  (* Nearest-rank: percentile p of n sorted samples is the sample of
+     rank ceil(p*n).  For 1..50 that makes p99 the 50th sample (50.0)
+     and p95 the 48th (48.0).  The old truncating definition read
+     index 48 / 46 — values 49.0 / 47.0 — so these expectations fail
+     against it. *)
+  let sum = stats_summary (List.init 50 (fun i -> float_of_int (50 - i))) in
+  check (Alcotest.float 0.0) "p99 of 1..50" 50.0 sum.Stats.p99;
+  check (Alcotest.float 0.0) "p95 of 1..50" 48.0 sum.Stats.p95;
+  check (Alcotest.float 0.0) "p50 of 1..50" 25.0 sum.Stats.p50;
+  (* 1..100: ranks land exactly on ceil(p*n) with no rounding slack. *)
+  let sum = stats_summary (List.init 100 (fun i -> float_of_int (i + 1))) in
+  check (Alcotest.float 0.0) "p99 of 1..100" 99.0 sum.Stats.p99;
+  check (Alcotest.float 0.0) "p95 of 1..100" 95.0 sum.Stats.p95;
+  check (Alcotest.float 0.0) "p50 of 1..100" 50.0 sum.Stats.p50;
+  let sum = stats_summary [ 4.0; 1.0; 3.0; 2.0 ] in
+  check (Alcotest.float 0.0) "p50 of 4 samples" 2.0 sum.Stats.p50;
+  check (Alcotest.float 0.0) "p99 of 4 samples" 4.0 sum.Stats.p99;
+  let sum = stats_summary [ 7.0 ] in
+  check (Alcotest.float 0.0) "p50 of singleton" 7.0 sum.Stats.p50;
+  check (Alcotest.float 0.0) "p99 of singleton" 7.0 sum.Stats.p99
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.incr a "c";
+  Stats.add b "c" 2;
+  List.iter (Stats.observe a "x") [ 1.0; 2.0 ];
+  List.iter (Stats.observe b "x") [ 3.0; 4.0 ];
+  Stats.observe b "only_b" 9.0;
+  let m = Stats.merge a b in
+  check Alcotest.int "counters add" 3 (Stats.count m "c");
+  (match Stats.summarize m "x" with
+  | Some s ->
+      check Alcotest.int "series concatenated" 4 s.Stats.n;
+      check (Alcotest.float 0.0) "min survives" 1.0 s.Stats.min;
+      check (Alcotest.float 0.0) "max survives" 4.0 s.Stats.max
+  | None -> Alcotest.fail "summary expected");
+  checkb "one-sided series kept" (Option.is_some (Stats.summarize m "only_b"));
+  (* The accumulation pattern the fix makes linear. *)
+  let agg = ref (Stats.create ()) in
+  for i = 1 to 10 do
+    let batch = Stats.create () in
+    Stats.observe batch "x" (float_of_int i);
+    agg := Stats.merge !agg batch
+  done;
+  match Stats.summarize !agg "x" with
+  | Some s -> check Alcotest.int "accumulated" 10 s.Stats.n
+  | None -> Alcotest.fail "summary expected"
+
+(* --- Metrics: registry basics -------------------------------------------- *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.add m "a" 2;
+  check Alcotest.int "counter" 3 (Metrics.count m "a");
+  check Alcotest.int "missing counter" 0 (Metrics.count m "b");
+  Metrics.set_gauge m "level" 2.0;
+  Metrics.set_gauge m "level" 5.0;
+  check (Alcotest.float 0.0) "gauge keeps last" 5.0
+    (Option.get (Metrics.gauge m "level"));
+  checkb "missing gauge" (Metrics.gauge m "nope" = None);
+  List.iter (Metrics.observe m "lat") [ 1.0; 2.0; 3.0; 4.0 ];
+  Metrics.observe m "lat" Float.nan;
+  let s = Metrics.summarize m "lat" in
+  check Alcotest.int "n exact, nan dropped" 4 s.Metrics.n;
+  check (Alcotest.float 0.001) "mean exact" 2.5 s.Metrics.mean;
+  check (Alcotest.float 0.0) "min exact" 1.0 s.Metrics.min;
+  check (Alcotest.float 0.0) "max exact" 4.0 s.Metrics.max;
+  check (Alcotest.float 0.0) "p<=0 is min" 1.0 (Metrics.quantile m "lat" 0.0);
+  check (Alcotest.float 0.0) "p>=1 is max" 4.0 (Metrics.quantile m "lat" 1.0);
+  checkb "unknown histogram is nan" (Float.is_nan (Metrics.quantile m "x" 0.5));
+  (* out-of-range samples land in the overflow buckets but keep the
+     exact moments *)
+  let o = Metrics.create () in
+  List.iter (Metrics.observe o "wild") [ 1e12; 1e-12; 3.0; -5.0 ];
+  let s = Metrics.summarize o "wild" in
+  check Alcotest.int "overflow counted" 4 s.Metrics.n;
+  check (Alcotest.float 0.0) "overflow min exact" (-5.0) s.Metrics.min;
+  check (Alcotest.float 0.0) "overflow max exact" 1e12 s.Metrics.max
+
+let test_histogram_quantile_bound () =
+  (* The documented bound: inside the tracked range the histogram's
+     nearest-rank quantile is within sqrt(1.05)-1 < 2.5% (we assert the
+     looser 5%) of the exact nearest-rank sample from the Stats
+     oracle. *)
+  let rng = Wf_sim.Rng.create 7L in
+  List.iter
+    (fun n ->
+      let reg = Metrics.create () and oracle = Stats.create () in
+      for _ = 1 to n do
+        let x = Wf_sim.Rng.exponential rng ~mean:3.0 +. 0.001 in
+        Metrics.observe reg "lat" x;
+        Stats.observe oracle "lat" x
+      done;
+      let exact =
+        match Stats.summarize oracle "lat" with
+        | Some s -> s
+        | None -> Alcotest.fail "oracle summary expected"
+      in
+      let approx = Metrics.summarize reg "lat" in
+      check Alcotest.int "n agrees" exact.Stats.n approx.Metrics.n;
+      let within name a e =
+        checkb
+          (Printf.sprintf "%s within 5%% at n=%d (%g vs %g)" name n a e)
+          (Float.abs (a -. e) /. e <= 0.05)
+      in
+      within "p50" approx.Metrics.p50 exact.Stats.p50;
+      within "p95" approx.Metrics.p95 exact.Stats.p95;
+      within "p99" approx.Metrics.p99 exact.Stats.p99;
+      check (Alcotest.float 1e-9) "min exact" exact.Stats.min approx.Metrics.min;
+      check (Alcotest.float 1e-9) "max exact" exact.Stats.max approx.Metrics.max)
+    [ 10; 100; 1000 ]
+
+let test_metrics_merge_associative () =
+  let mk values =
+    let m = Metrics.create () in
+    List.iteri
+      (fun i x ->
+        Metrics.incr m "c";
+        Metrics.set_gauge m "g" x;
+        Metrics.observe m (if i mod 2 = 0 then "h0" else "h1") x)
+      values;
+    m
+  in
+  let a = mk [ 1.0; 5.0; 2.0 ]
+  and b = mk [ 10.0; 0.5 ]
+  and c = mk [ 3.0; 0.25; 7.5; 4.0 ] in
+  let l = Metrics.merge (Metrics.merge a b) c in
+  let r = Metrics.merge a (Metrics.merge b c) in
+  check Alcotest.int "counter total" 9 (Metrics.count l "c");
+  check Alcotest.int "counter assoc" (Metrics.count l "c")
+    (Metrics.count r "c");
+  (* within a registry set_gauge keeps the last value (a: 2.0, b: 0.5,
+     c: 4.0); merge keeps the maximum of the levels *)
+  check (Alcotest.float 0.0) "gauge is max" 4.0
+    (Option.get (Metrics.gauge l "g"));
+  check (Alcotest.float 0.0) "gauge assoc" (Option.get (Metrics.gauge l "g"))
+    (Option.get (Metrics.gauge r "g"));
+  List.iter
+    (fun name ->
+      let sl = Metrics.summarize l name and sr = Metrics.summarize r name in
+      check Alcotest.int (name ^ " n assoc") sl.Metrics.n sr.Metrics.n;
+      check (Alcotest.float 1e-9) (name ^ " mean assoc") sl.Metrics.mean
+        sr.Metrics.mean;
+      check (Alcotest.float 0.0) (name ^ " min assoc") sl.Metrics.min
+        sr.Metrics.min;
+      check (Alcotest.float 0.0) (name ^ " max assoc") sl.Metrics.max
+        sr.Metrics.max;
+      check (Alcotest.float 0.0) (name ^ " p99 assoc") sl.Metrics.p99
+        sr.Metrics.p99)
+    (Metrics.histogram_names l);
+  (* merging with an empty registry is the identity on counts *)
+  let e = Metrics.merge l (Metrics.create ()) in
+  check Alcotest.int "empty merge id" (Metrics.count l "c")
+    (Metrics.count e "c")
+
+let test_metrics_json () =
+  let m = Metrics.create () in
+  Metrics.add m "sent" 42;
+  Metrics.set_gauge m "makespan" 17.5;
+  List.iter (Metrics.observe m "lat") [ 1.0; 2.0; 4.0 ];
+  let j =
+    match Json.parse (Metrics.to_json m) with
+    | Ok j -> j
+    | Error e -> Alcotest.fail ("metrics JSON does not parse: " ^ e)
+  in
+  let counter =
+    Json.member "counters" j |> Option.get |> Json.member "sent" |> Option.get
+  in
+  check Alcotest.int "counter exported" 42 (Option.get (Json.to_int counter));
+  let gauge =
+    Json.member "gauges" j |> Option.get
+    |> Json.member "makespan"
+    |> Option.get
+  in
+  check (Alcotest.float 0.0) "gauge exported" 17.5
+    (Option.get (Json.to_float gauge));
+  let hist =
+    Json.member "histograms" j |> Option.get |> Json.member "lat" |> Option.get
+  in
+  check Alcotest.int "histogram n exported" 3
+    (Option.get (Json.to_int (Option.get (Json.member "n" hist))))
+
+(* --- Trace: schema round-trip -------------------------------------------- *)
+
+let all_kinds =
+  [
+    Trace.make ~time:0.0 ~site:0 ~mid:7
+      (Trace.Send { src = 0; dst = 1; control = true });
+    Trace.make ~time:1.5 ~site:1 ~mid:7 (Trace.Deliver { src = 0; dst = 1 });
+    Trace.make ~time:2.0 ~site:1
+      (Trace.Drop { src = 0; dst = 1; reason = Trace.Link });
+    Trace.make ~time:2.0 ~site:1
+      (Trace.Drop { src = 0; dst = 1; reason = Trace.Partition });
+    Trace.make ~time:2.25 ~site:1
+      (Trace.Drop { src = 0; dst = 1; reason = Trace.Crashed });
+    Trace.make ~time:3.0 ~site:2 Trace.Crash;
+    Trace.make ~time:4.0 ~site:2 Trace.Restart;
+    Trace.make ~time:5.0 ~site:0 ~epoch:1 ~mid:3
+      (Trace.Retransmit { dst = 1; tries = 2 });
+    Trace.make ~time:6.0 ~site:0 ~mid:3 (Trace.Give_up { dst = 1 });
+    Trace.make ~time:7.0 ~site:0 ~epoch:1 ~mid:3 (Trace.Ack { dst = 1 });
+    Trace.make ~time:8.0 ~site:2 ~epoch:3 Trace.Epoch_bump;
+    Trace.make ~time:9.25 ~site:1 ~actor:"b_t1(3)"
+      (Trace.Assim { outcome = Trace.Enabled; guard = 42 });
+    Trace.make ~time:9.25 ~site:1 ~actor:"e"
+      (Trace.Assim { outcome = Trace.Parked; guard = 0 });
+    Trace.make ~time:9.5 ~site:2 ~actor:"f"
+      (Trace.Assim { outcome = Trace.Reduced; guard = -1 });
+    Trace.make ~time:9.75 ~site:0 ~actor:"g"
+      (Trace.Assim { outcome = Trace.Rejected; guard = 3 });
+    Trace.make ~time:10.0 ~site:0 ~actor:"h"
+      (Trace.Assim { outcome = Trace.Forced; guard = 4 });
+  ]
+
+let test_trace_roundtrip () =
+  List.iter
+    (fun r ->
+      match Trace.parse_line (Trace.line_of r) with
+      | Ok r' ->
+          checkb
+            ("round trip of " ^ Trace.kind_name r ^ ": " ^ Trace.line_of r)
+            (r = r')
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "%s does not parse back: %s" (Trace.line_of r) e))
+    all_kinds;
+  checkb "unknown kind rejected"
+    (Result.is_error (Trace.parse_line {|{"t":0,"kind":"nope","site":0}|}));
+  checkb "missing field rejected"
+    (Result.is_error (Trace.parse_line {|{"t":0,"kind":"send","site":0}|}));
+  checkb "garbage rejected" (Result.is_error (Trace.parse_line "not json"))
+
+let test_trace_files () =
+  let path = Filename.temp_file "wf_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Trace.write_jsonl oc all_kinds;
+      close_out oc;
+      match Trace.validate_file path with
+      | Ok n -> check Alcotest.int "all records validate" 16 n
+      | Error e -> Alcotest.fail e);
+  (* time going backwards must be flagged *)
+  let path = Filename.temp_file "wf_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Trace.write_jsonl oc
+        [
+          Trace.make ~time:2.0 ~site:0 Trace.Crash;
+          Trace.make ~time:1.0 ~site:0 Trace.Restart;
+        ];
+      close_out oc;
+      checkb "decreasing time rejected"
+        (Result.is_error (Trace.validate_file path)));
+  (* the Chrome export is well-formed JSON with one event per record *)
+  let buf = Buffer.create 256 in
+  let path = Filename.temp_file "wf_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Trace.write_chrome oc all_kinds;
+      close_out oc;
+      let ic = open_in path in
+      (try
+         while true do
+           Buffer.add_channel buf ic 1
+         done
+       with End_of_file -> close_in ic);
+      match Json.parse (Buffer.contents buf) with
+      | Error e -> Alcotest.fail ("chrome trace does not parse: " ^ e)
+      | Ok j -> (
+          match Json.member "traceEvents" j with
+          | Some (Json.List evs) ->
+              check Alcotest.int "one event per record" 16 (List.length evs)
+          | _ -> Alcotest.fail "traceEvents missing"))
+
+(* --- end to end: a traced faulty run agrees with its metrics ------------- *)
+
+let spec_dir =
+  let candidates =
+    [
+      Filename.concat (Filename.dirname Sys.executable_name) "../specs";
+      "../specs";
+      "specs";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some d -> d
+  | None -> "../specs"
+
+let count_kind records name =
+  List.length (List.filter (fun r -> Trace.kind_name r = name) records)
+
+let count_outcome records o =
+  List.length
+    (List.filter
+       (fun (r : Trace.record) ->
+         match r.Trace.kind with
+         | Trace.Assim a -> a.outcome = o
+         | _ -> false)
+       records)
+
+let test_traced_run_agrees () =
+  (* A faulty, crashy run with the collector attached: every trace
+     count must agree with the corresponding metrics counter, and the
+     JSONL export must validate. *)
+  let { Wf_lang.Elaborate.def; templates } =
+    Wf_lang.Elaborate.load_file (Filename.concat spec_dir "travel.wf")
+  in
+  check Alcotest.int "travel.wf is ground" 0 (List.length templates);
+  let faults =
+    {
+      Wf_sim.Netsim.no_faults with
+      drop_rate = 0.25;
+      duplicate_rate = 0.1;
+      crash_on_deliver = 0.2;
+      restart_delay = 2.0;
+      max_crashes = 50;
+    }
+  in
+  let sink, records = Trace.collector () in
+  let r =
+    Event_sched.run
+      ~config:
+        {
+          Event_sched.default_config with
+          seed = 5L;
+          faults;
+          tracer = Some sink;
+        }
+      def
+  in
+  checkb "run satisfied under faults" r.Event_sched.satisfied;
+  let records = records () in
+  let stats = r.Event_sched.stats in
+  let count = Metrics.count stats in
+  let agree name counter =
+    check Alcotest.int
+      (Printf.sprintf "#%s = %s" name counter)
+      (count counter) (count_kind records name)
+  in
+  agree "send" "messages_sent";
+  agree "deliver" "messages_delivered";
+  agree "crash" "net_crashes";
+  agree "restart" "net_restarts";
+  agree "retransmit" "chan_retransmits";
+  agree "give_up" "chan_gave_up";
+  check Alcotest.int "#epoch_bump = net_restarts" (count "net_restarts")
+    (count_kind records "epoch_bump");
+  check Alcotest.int "#ack = ack_latency.n"
+    (Metrics.summarize stats "ack_latency").Metrics.n
+    (count_kind records "ack");
+  let drops reason =
+    List.length
+      (List.filter
+         (fun (r : Trace.record) ->
+           match r.Trace.kind with
+           | Trace.Drop d -> d.reason = reason
+           | _ -> false)
+         records)
+  in
+  check Alcotest.int "#drop/link = net_drops" (count "net_drops")
+    (drops Trace.Link);
+  check Alcotest.int "#drop/partition = net_partition_drops"
+    (count "net_partition_drops")
+    (drops Trace.Partition);
+  check Alcotest.int "#drop/crash = net_crash_drops" (count "net_crash_drops")
+    (drops Trace.Crashed);
+  check Alcotest.int "parked + reduced = parked_evaluations"
+    (count "parked_evaluations")
+    (count_outcome records Trace.Parked + count_outcome records Trace.Reduced);
+  check Alcotest.int "forced = forced_violations" (count "forced_violations")
+    (count_outcome records Trace.Forced);
+  (* the interesting paths actually ran under this seed *)
+  checkb "sends traced" (count_kind records "send" > 0);
+  checkb "link drops traced" (drops Trace.Link > 0);
+  checkb "crashes traced" (count_kind records "crash" > 0);
+  checkb "crash-window drops traced" (drops Trace.Crashed > 0);
+  checkb "retransmits traced" (count_kind records "retransmit" > 0);
+  checkb "assimilations traced" (count_outcome records Trace.Enabled > 0);
+  (* and the whole thing survives the JSONL round trip *)
+  let path = Filename.temp_file "wf_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Trace.write_jsonl oc records;
+      close_out oc;
+      match Trace.validate_file path with
+      | Ok n -> check Alcotest.int "export validates" (List.length records) n
+      | Error e -> Alcotest.fail e)
+
+let test_disabled_tracer_free () =
+  (* With no sink attached nothing is recorded and the run is
+     unchanged: same trace, same stats. *)
+  let { Wf_lang.Elaborate.def; _ } =
+    Wf_lang.Elaborate.load_file (Filename.concat spec_dir "travel.wf")
+  in
+  let run tracer =
+    Event_sched.run
+      ~config:{ Event_sched.default_config with seed = 11L; tracer }
+      def
+  in
+  let sink, records = Trace.collector () in
+  let traced = run (Some sink) and plain = run None in
+  checkb "tracing does not perturb the run"
+    (Event_sched.trace_literals traced = Event_sched.trace_literals plain);
+  check Alcotest.int "stats agree"
+    (Metrics.count traced.Event_sched.stats "messages_sent")
+    (Metrics.count plain.Event_sched.stats "messages_sent");
+  checkb "collector saw the traced run" (records () <> [])
+
+let suite =
+  [
+    Alcotest.test_case "percentile is nearest-rank" `Quick
+      test_percentile_nearest_rank;
+    Alcotest.test_case "stats merge" `Quick test_stats_merge;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "histogram quantile error bound" `Quick
+      test_histogram_quantile_bound;
+    Alcotest.test_case "metrics merge associative" `Quick
+      test_metrics_merge_associative;
+    Alcotest.test_case "metrics JSON export" `Quick test_metrics_json;
+    Alcotest.test_case "trace JSONL round trip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "trace file validation" `Quick test_trace_files;
+    Alcotest.test_case "traced faulty run agrees with metrics" `Quick
+      test_traced_run_agrees;
+    Alcotest.test_case "disabled tracer is inert" `Quick
+      test_disabled_tracer_free;
+  ]

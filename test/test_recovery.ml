@@ -56,7 +56,7 @@ let test_crash_drops_and_restart () =
   Netsim.send net ~src:0 ~dst:1 "lost";
   Netsim.run net;
   checkb "delivery to a crashed site dropped" (!received = []);
-  checkb "drop counted" (Stats.count (Netsim.stats net) "net_crash_drops" > 0);
+  checkb "drop counted" (Wf_obs.Metrics.count (Netsim.stats net) "net_crash_drops" > 0);
   Netsim.restart_site net 1;
   checkb "site back up" (not (Netsim.site_crashed net 1));
   check Alcotest.(list int) "restart hook ran with the site id" [ 1 ]
@@ -91,9 +91,9 @@ let test_crash_budget_terminates () =
   Netsim.run net;
   check Alcotest.int "every message handled" 10 !received;
   check Alcotest.int "budget caps the crashes" 3
-    (Stats.count (Netsim.stats net) "net_crashes");
+    (Wf_obs.Metrics.count (Netsim.stats net) "net_crashes");
   check Alcotest.int "every crash restarted" 3
-    (Stats.count (Netsim.stats net) "net_restarts")
+    (Wf_obs.Metrics.count (Netsim.stats net) "net_restarts")
 
 let test_control_traffic_never_crashes () =
   let faults =
@@ -107,11 +107,11 @@ let test_control_traffic_never_crashes () =
   done;
   Netsim.run net;
   check Alcotest.int "control traffic exempt from crash injection" 0
-    (Stats.count (Netsim.stats net) "net_crashes");
+    (Wf_obs.Metrics.count (Netsim.stats net) "net_crashes");
   Netsim.send net ~src:0 ~dst:1 ();
   Netsim.run net;
   checkb "non-control traffic does crash"
-    (Stats.count (Netsim.stats net) "net_crashes" > 0)
+    (Wf_obs.Metrics.count (Netsim.stats net) "net_crashes" > 0)
 
 (* --- channel epochs ------------------------------------------------------ *)
 
@@ -140,7 +140,7 @@ let test_epoch_mid_reuse_not_suppressed () =
     "same mid, new epoch: delivered, not suppressed"
     [ "pre-crash"; "post-crash" ] (List.rev !received);
   let suppressed_before =
-    Stats.count (Netsim.stats net) "chan_duplicates_suppressed"
+    Wf_obs.Metrics.count (Netsim.stats net) "chan_duplicates_suppressed"
   in
   (* A late retransmission of the pre-crash copy keeps its old epoch and
      is still recognized as a duplicate. *)
@@ -150,7 +150,7 @@ let test_epoch_mid_reuse_not_suppressed () =
   check Alcotest.int "stale pre-crash copy suppressed" 2
     (List.length !received);
   checkb "suppression counted"
-    (Stats.count (Netsim.stats net) "chan_duplicates_suppressed"
+    (Wf_obs.Metrics.count (Netsim.stats net) "chan_duplicates_suppressed"
     > suppressed_before)
 
 let test_dead_letter_revival () =
@@ -165,7 +165,7 @@ let test_dead_letter_revival () =
   Channel.send chan ~src:0 ~dst:1 "revive-me";
   Netsim.run net;
   checkb "sender gave up while the peer was down"
-    (Stats.count (Netsim.stats net) "chan_gave_up" > 0);
+    (Wf_obs.Metrics.count (Netsim.stats net) "chan_gave_up" > 0);
   check Alcotest.int "message parked as dead letter" 1
     (Channel.dead_letters chan);
   checkb "nothing delivered yet" (!received = []);
@@ -173,7 +173,7 @@ let test_dead_letter_revival () =
   Netsim.run net;
   check Alcotest.(list string) "revived and delivered" [ "revive-me" ]
     !received;
-  checkb "revival counted" (Stats.count (Netsim.stats net) "chan_revived" > 0);
+  checkb "revival counted" (Wf_obs.Metrics.count (Netsim.stats net) "chan_revived" > 0);
   check Alcotest.int "no dead letters left" 0 (Channel.dead_letters chan);
   check Alcotest.int "nothing pending" 0 (Channel.unacked chan)
 
@@ -187,7 +187,8 @@ let recording_ctx () =
       fire = (fun l -> fired := l :: !fired);
       reject = (fun l -> rejected := l :: !rejected);
       trigger_task = (fun _ -> true);
-      stats = Stats.create ();
+      stats = Wf_obs.Metrics.create ();
+      emit_assim = None;
     }
   in
   (ctx, fired, rejected)
@@ -256,7 +257,7 @@ let actor_replay_agrees =
   qprop ~count:300 "actor checkpoint + replay(suffix) = pre-crash state"
     gen_actor_script
     (fun (d, items, close) ->
-      let ctx = Actor.muted_ctx (Stats.create ()) in
+      let ctx = Actor.muted_ctx (Wf_obs.Metrics.create ()) in
       let live = mk_actor d in
       let j = Wf_store.Journal.create ~checkpoint_every:4 () in
       let seqno = ref 0 in
@@ -388,7 +389,7 @@ let run_one ~sched ~faults ~seed wf =
 let sched_name = function `Distributed -> "dist" | `Central -> "central"
 
 let test_crash_conformance () =
-  let agg = ref (Stats.create ()) in
+  let agg = ref (Wf_obs.Metrics.create ()) in
   List.iter
     (fun path ->
       let { Wf_lang.Elaborate.def; templates } =
@@ -431,11 +432,11 @@ let test_crash_conformance () =
                     (name ^ ": denotation of " ^ Expr.to_string dep)
                     (satisfied_by_denotation dep trace))
                 deps;
-              agg := Stats.merge !agg r.Event_sched.stats
+              agg := Wf_obs.Metrics.merge !agg r.Event_sched.stats
             done)
           [ `Distributed; `Central ])
     (spec_files ());
-  let count name = Stats.count !agg name in
+  let count name = Wf_obs.Metrics.count !agg name in
   checkb "crashes were injected" (count "net_crashes" > 0);
   checkb "every crash restarted" (count "net_restarts" = count "net_crashes");
   checkb "deliveries were dropped on crashed sites"
@@ -480,7 +481,7 @@ let test_crash_prob_one_stress () =
               run_one ~sched ~faults:Netsim.no_faults ~seed:9L def
             in
             checkb (name ^ ": crashes happened")
-              (Stats.count crashy.Event_sched.stats "net_crashes" > 0);
+              (Wf_obs.Metrics.count crashy.Event_sched.stats "net_crashes" > 0);
             checkb (name ^ ": satisfied") crashy.Event_sched.satisfied;
             checkb (name ^ ": fault-free run satisfied")
               clean.Event_sched.satisfied;

@@ -360,7 +360,7 @@ let test_central_routes_through_center () =
   (* Every protocol message involves site 0 in the centralized design:
      remote messages exist and no actor-to-actor chatter happens. *)
   checkb "central uses messages"
-    (Wf_sim.Stats.count r.Event_sched.stats "messages_sent" > 0)
+    (Wf_obs.Metrics.count r.Event_sched.stats "messages_sent" > 0)
 
 let test_determinism () =
   let r1 = run_dist ~seed:99L (travel_wf ()) in

@@ -211,11 +211,11 @@ let test_netsim_stats () =
   Netsim.send net ~src:0 ~dst:1 ();
   Netsim.send net ~src:0 ~dst:0 ();
   Netsim.run net;
-  check Alcotest.int "sent" 2 (Stats.count (Netsim.stats net) "messages_sent");
-  check Alcotest.int "remote" 1 (Stats.count (Netsim.stats net) "messages_remote");
+  check Alcotest.int "sent" 2 (Wf_obs.Metrics.count (Netsim.stats net) "messages_sent");
+  check Alcotest.int "remote" 1 (Wf_obs.Metrics.count (Netsim.stats net) "messages_remote");
   (* local handler missing: dropped *)
   check Alcotest.int "dropped" 1
-    (Stats.count (Netsim.stats net) "messages_dropped")
+    (Wf_obs.Metrics.count (Netsim.stats net) "messages_dropped")
 
 (* --- fault injection ------------------------------------------------------ *)
 
@@ -233,7 +233,7 @@ let test_netsim_drop_all () =
   done;
   Netsim.run net;
   check Alcotest.int "nothing delivered" 0 !received;
-  check Alcotest.int "all dropped" 20 (Stats.count (Netsim.stats net) "net_drops")
+  check Alcotest.int "all dropped" 20 (Wf_obs.Metrics.count (Netsim.stats net) "net_drops")
 
 let test_netsim_duplicate_all () =
   let net = faulty_net { Netsim.no_faults with duplicate_rate = 1.0 } in
@@ -245,7 +245,7 @@ let test_netsim_duplicate_all () =
   Netsim.run net;
   check Alcotest.int "every message delivered twice" 40 !received;
   check Alcotest.int "duplicates counted" 20
-    (Stats.count (Netsim.stats net) "net_duplicates")
+    (Wf_obs.Metrics.count (Netsim.stats net) "net_duplicates")
 
 let test_netsim_partition_window () =
   let faults =
@@ -274,7 +274,7 @@ let test_netsim_partition_window () =
   Netsim.run net;
   check Alcotest.int "only the post-window message" 1 !received;
   check Alcotest.int "both directions cut" 2
-    (Stats.count (Netsim.stats net) "net_partition_drops")
+    (Wf_obs.Metrics.count (Netsim.stats net) "net_partition_drops")
 
 let test_netsim_pause_resume () =
   let net = faulty_net Netsim.no_faults in
@@ -290,7 +290,7 @@ let test_netsim_pause_resume () =
   check Alcotest.(list int) "backlog flushed in order" [ 1; 2; 3; 4; 5 ]
     (List.rev !received);
   checkb "stalled deliveries counted"
-    (Stats.count (Netsim.stats net) "net_stalled" >= 5);
+    (Wf_obs.Metrics.count (Netsim.stats net) "net_stalled" >= 5);
   checkb "flushed at resume time" (Netsim.now net >= 20.0)
 
 let test_netsim_reorder () =
@@ -311,7 +311,7 @@ let test_netsim_reorder () =
   check Alcotest.(list int) "same multiset" (List.init n (fun i -> i + 1))
     (List.sort compare out);
   checkb "order actually perturbed" (out <> List.init n (fun i -> i + 1));
-  checkb "reorders counted" (Stats.count (Netsim.stats net) "net_reordered" > 0)
+  checkb "reorders counted" (Wf_obs.Metrics.count (Netsim.stats net) "net_reordered" > 0)
 
 let test_netsim_fault_determinism () =
   let faults =
