@@ -7,10 +7,12 @@
    Flags:
      --scaling   run only the CORE before/after scaling suite
      --crash     run only the crash-recovery overhead suite
+     --check     run only the model-checker exploration suite
      --smoke     small configs and quotas (CI smoke job)
      --json [F]  write the selected suite's numbers to F (default
-                 BENCH_CORE.json, or BENCH_CRASH.json with --crash,
-                 in the current directory) *)
+                 BENCH_CORE.json, BENCH_CRASH.json with --crash, or
+                 BENCH_CHECK.json with --check, in the current
+                 directory) *)
 
 open Wf_core
 open Wf_tasks
@@ -450,6 +452,108 @@ let write_crash_json path ~smoke rows =
     (if smoke then "smoke" else "full");
   Printf.fprintf oc "  \"all_satisfied\": %b,\n"
     (List.for_all (fun r -> r.c_satisfied) rows);
+  Printf.fprintf oc "  \"results\": [\n    %s\n  ]\n}\n"
+    (String.concat ",\n    " (List.map row_json rows));
+  close_out oc
+
+(* --- CHECK: exhaustive model checking ---------------------------------------- *)
+
+type check_row = {
+  k_spec : string;
+  k_crash_depth : int;
+  k_naive_states : int;
+  k_dpor_states : int;
+  k_dpor_traces : int;
+  k_divergences : int;
+  k_complete : bool;
+  k_states_per_sec : float;
+}
+
+(* The model checker's economics: states explored per second (DPOR side,
+   the one CI runs), and the naive/DPOR state-count ratio — how much of
+   the interleaving space the reduction proves redundant. *)
+let bench_check ?(smoke = false) () =
+  section "CHECK"
+    "Exhaustive interleaving exploration: DPOR reduction and throughput";
+  let spec_dir =
+    if Sys.file_exists "specs" then "specs"
+    else if Sys.file_exists "../specs" then "../specs"
+    else "../../specs"
+  in
+  let load name =
+    (Wf_lang.Elaborate.load_file (Filename.concat spec_dir name))
+      .Wf_lang.Elaborate.def
+  in
+  let timed fn =
+    let t0 = Monotonic_clock.get () in
+    let r = fn () in
+    (r, (Monotonic_clock.get () -. t0) /. 1e9)
+  in
+  let configs =
+    [ ("mc_pair.wf", 0); ("mc_trigger.wf", 0); ("mc_indep.wf", 0);
+      ("mc_pair.wf", 1); ("mc_trigger.wf", 1) ]
+    @ (if smoke then [] else [ ("mc_indep.wf", 1) ])
+  in
+  Printf.printf "%-16s %5s | %10s %10s %9s | %8s %6s | %12s\n" "spec" "crash"
+    "naive" "dpor" "reduction" "runs" "divs" "states/sec";
+  let rows =
+    List.map
+      (fun (spec, crash_depth) ->
+        let wf = load spec in
+        let max_states = 2_000_000 in
+        let dpor, secs =
+          timed (fun () ->
+              Wf_check.Mc.check ~crash_depth ~max_states ~spec_name:spec wf)
+        in
+        let naive =
+          Wf_check.Mc.check ~crash_depth ~max_states ~dpor:false
+            ~spec_name:spec wf
+        in
+        let row =
+          {
+            k_spec = spec;
+            k_crash_depth = crash_depth;
+            k_naive_states = naive.Wf_check.Mc.r_states;
+            k_dpor_states = dpor.Wf_check.Mc.r_states;
+            k_dpor_traces = dpor.Wf_check.Mc.r_traces;
+            k_divergences = List.length dpor.Wf_check.Mc.r_divergences;
+            k_complete =
+              dpor.Wf_check.Mc.r_complete && naive.Wf_check.Mc.r_complete;
+            k_states_per_sec = float_of_int dpor.Wf_check.Mc.r_states /. secs;
+          }
+        in
+        Printf.printf "%-16s %5d | %10d %10d %8.1fx | %8d %6d | %12.0f\n%!"
+          spec crash_depth row.k_naive_states row.k_dpor_states
+          (float_of_int row.k_naive_states /. float_of_int row.k_dpor_states)
+          row.k_dpor_traces row.k_divergences row.k_states_per_sec;
+        row)
+      configs
+  in
+  rows
+
+let write_check_json path ~smoke rows =
+  let oc = open_out path in
+  let row_json r =
+    Printf.sprintf
+      "{\"spec\": \"%s\", \"crash_depth\": %d, \"naive_states\": %d, \
+       \"dpor_states\": %d, \"reduction\": %.2f, \"dpor_traces\": %d, \
+       \"divergences\": %d, \"complete\": %b, \"dpor_states_per_sec\": %.0f}"
+      r.k_spec r.k_crash_depth r.k_naive_states r.k_dpor_states
+      (float_of_int r.k_naive_states /. float_of_int r.k_dpor_states)
+      r.k_dpor_traces r.k_divergences r.k_complete r.k_states_per_sec
+  in
+  let max_reduction =
+    List.fold_left
+      (fun acc r ->
+        Float.max acc
+          (float_of_int r.k_naive_states /. float_of_int r.k_dpor_states))
+      0.0 rows
+  in
+  Printf.fprintf oc "{\n  \"suite\": \"model-check\",\n  \"mode\": \"%s\",\n"
+    (if smoke then "smoke" else "full");
+  Printf.fprintf oc "  \"all_clean\": %b,\n  \"max_reduction\": %.2f,\n"
+    (List.for_all (fun r -> r.k_divergences = 0 && r.k_complete) rows)
+    max_reduction;
   Printf.fprintf oc "  \"results\": [\n    %s\n  ]\n}\n"
     (String.concat ",\n    " (List.map row_json rows));
   close_out oc
@@ -898,6 +1002,7 @@ let () =
   let smoke = List.mem "--smoke" args in
   let scaling_only = List.mem "--scaling" args in
   let crash_only = List.mem "--crash" args in
+  let check_only = List.mem "--check" args in
   let json_path =
     let rec find = function
       | "--json" :: next :: _ when String.length next > 0 && next.[0] <> '-' ->
@@ -911,7 +1016,16 @@ let () =
   Printf.printf
     "Reproduction benches: Singh, \"Synthesizing Distributed Constrained \
      Events from Transactional Workflow Specifications\" (ICDE 1996)\n";
-  if crash_only then begin
+  if check_only then begin
+    let rows = bench_check ~smoke () in
+    match json_path with
+    | Some path ->
+        let path = if path = "BENCH_CORE.json" then "BENCH_CHECK.json" else path in
+        write_check_json path ~smoke rows;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  end
+  else if crash_only then begin
     let rows = bench_crash ~smoke () in
     match json_path with
     | Some path ->

@@ -1,0 +1,132 @@
+open Wf_core
+
+(** Exhaustive interleaving model checker with dynamic partial-order
+    reduction.
+
+    Where the conformance suites sample schedules (one per seed), [Mc]
+    enumerates {e all} of them: it drives {!Wf_scheduler.Step_sched}
+    through a depth-first search over every delivery interleaving of a
+    spec on its universe — plus, behind {!check}'s [crash_depth] bound,
+    every placement of atomic crash-and-recover transitions — and checks
+    every maximal interleaving against the symbolic oracle
+    ({!Wf_core.Semantics}, {!Wf_core.Correctness}).
+
+    {2 Reduction}
+
+    Deliveries commute when their footprints are disjoint.  Footprints
+    are {e coupling classes}: the union-find closure of "appears in the
+    same dependency or belongs to the same task" over the spec's
+    symbols.  A transition's class set covers everything it can read or
+    write — an attempt touches its task's class (guards of a task's
+    events only mention symbols of dependencies that mention the task),
+    a delivery touches the classes of its endpoints and payload, a
+    crash touches the classes of the site's hosted symbols.  Swapping
+    two adjacent transitions with disjoint footprints can relabel
+    global sequence numbers, but leaves every per-dependency projection
+    of the realized trace — and hence every verdict the oracle computes
+    — unchanged, so pruning one of the two orders never hides a
+    divergence.  The commutation property test and the naive-vs-reduced
+    per-dependency-projection comparison in the suite validate this
+    empirically.
+
+    The DFS prunes with {e sleep sets} (a transition proven independent
+    of everything explored since it was last available is not re-fired)
+    and dedups states by {!Wf_scheduler.Step_sched.fingerprint}; a
+    visited state is re-explored only when reached with a strictly
+    smaller sleep set, the standard guard against the sleep-set /
+    state-caching interaction. *)
+
+(** A transition of the explored system. *)
+module Tkey : sig
+  type t =
+    | Attempt of string  (** the instance's agent attempts its next event *)
+    | Deliver of Symbol.t * Symbol.t  (** head message, sender → receiver *)
+    | Crash of int  (** atomic crash-and-recover of the site *)
+
+  val compare : t -> t -> int
+  val to_string : t -> string
+
+  module Set : Set.S with type elt = t
+end
+
+type divergence = {
+  d_kind : string;
+      (** ["ill-formed"], ["not-maximal"], ["violation"], ["generates"],
+          ["denotation"], ["forced"], or ["uncontrollable"] *)
+  d_detail : string;
+  d_schedule : Tkey.t list;  (** the interleaving that exposed it *)
+  d_trace : Literal.t list;  (** the closed trace it realized *)
+}
+
+type report = {
+  r_spec : string;
+  r_mode : string;  (** ["dpor"] or ["naive"] *)
+  r_states : int;  (** states entered (dedup hits included) *)
+  r_transitions : int;  (** transitions executed *)
+  r_traces : int;  (** maximal interleavings closed and checked *)
+  r_dedup_hits : int;
+  r_sleep_skips : int;
+  r_max_depth : int;
+  r_complete : bool;  (** false iff the [max_states] bound was hit *)
+  r_crash_depth : int;
+  r_recoveries : int;  (** actor recoveries across the exploration *)
+  r_closed_traces : Literal.t list list;
+      (** the distinct closed traces observed, in discovery order.
+          Naive and reduced explorations agree on every {e
+          per-dependency projection} (and literal set) drawn from these
+          traces — that is the verdict-relevant view — but not on the
+          sequences themselves: the reduction deliberately prunes
+          reorderings of independent events, so the naive set is a
+          superset (e.g. 630 vs 25 on [mc_indep.wf]). *)
+  r_divergences : divergence list;  (** capped at 16 *)
+}
+
+val check :
+  ?crash_depth:int ->
+  ?max_states:int ->
+  ?dpor:bool ->
+  ?guard_overrides:(Literal.t * Guard.t) list ->
+  ?spec_name:string ->
+  Wf_tasks.Workflow_def.t ->
+  report
+(** Exhaustively explore the workflow.  [crash_depth] (default 0)
+    bounds the number of crash transitions per interleaving;
+    [max_states] (default 500_000) bounds the exploration; [dpor]
+    (default true) enables the reduction; [guard_overrides] plants
+    wrong guards (via {!Wf_scheduler.Step_sched.build}) so tests can
+    watch the checker catch the resulting divergences.  Parametrized
+    (looping) tasks are rejected: the checker needs a finite static
+    alphabet.  *)
+
+(** {2 Counterexamples}
+
+    A divergence's schedule is exported as {!Wf_obs.Trace} JSONL —
+    attempts as [send] records (actor = the instance), deliveries as
+    [deliver] records (actor = ["sender>receiver"]), crashes as [crash]
+    records — so counterexamples flow through the same tooling as
+    simulator traces ({!Wf_obs.Trace.validate_file} accepts them) and
+    stay loadable as the schema evolves. *)
+
+val write_counterexample :
+  Wf_tasks.Workflow_def.t -> divergence -> string -> unit
+(** Write the divergence's schedule to the path, one record per line. *)
+
+val load_schedule : string -> (Tkey.t list, string) result
+(** Parse a counterexample file back into a schedule. *)
+
+val replay :
+  ?guard_overrides:(Literal.t * Guard.t) list ->
+  Wf_tasks.Workflow_def.t ->
+  Tkey.t list ->
+  (divergence list * Literal.t list, string) result
+(** Re-execute a schedule step by step (validating each transition is
+    enabled), close the run, and return the divergences of the final
+    state plus the realized closed trace.  [Error] if the schedule does
+    not apply to the spec. *)
+
+(** {2 Introspection} *)
+
+val coupling_classes : Wf_tasks.Workflow_def.t -> Symbol.t list list
+(** The coupling classes of the spec's symbols (each sorted; classes
+    sorted by first element) — the independence relation the reduction
+    is keyed on, exposed for tests and the CLI's [--classes] view. *)

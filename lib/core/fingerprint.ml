@@ -1,0 +1,18 @@
+(* FNV-1a folded over native ints.  The 64-bit offset basis and prime
+   are truncated to OCaml's 63-bit int; multiplication wraps, which is
+   exactly the mixing FNV wants. *)
+
+type t = int
+
+let init = 0x4bf29ce484222325
+let prime = 0x100000001b3
+
+let int h x = (h lxor x) * prime
+let bool h b = int h (if b then 1 else 0)
+
+let string h s =
+  let h = int h (String.length s) in
+  String.fold_left (fun h c -> int h (Char.code c)) h s
+
+let option f h = function None -> int h 0 | Some x -> f (int h 1) x
+let list f h xs = List.fold_left f (int h (List.length xs)) xs

@@ -1,0 +1,29 @@
+(** Incremental state fingerprinting (FNV-1a over native ints).
+
+    The model checker hashes a global scheduler state — actor knowledge,
+    parked attempts (by {!Guard.uid}), message queues, agent scripts —
+    into one 63-bit fingerprint for visited-state deduplication.  The
+    combinators fold structure into the running hash; callers are
+    responsible for canonicalizing unordered containers (sort set and
+    map elements) before folding, so that equal states always produce
+    equal fingerprints.
+
+    Collisions merge distinct states and would silently prune part of
+    the search; at the ~10^5–10^6 states of the small universes the
+    checker targets, the birthday bound on 63 bits puts the collision
+    probability below 10^-6. *)
+
+type t = int
+
+val init : t
+(** The FNV offset basis (truncated to OCaml's native int). *)
+
+val int : t -> int -> t
+val bool : t -> bool -> t
+val string : t -> string -> t
+
+val option : (t -> 'a -> t) -> t -> 'a option -> t
+(** Distinguishes [None] from [Some x] for any [x]. *)
+
+val list : (t -> 'a -> t) -> t -> 'a list -> t
+(** Folds the length first, so list boundaries cannot alias. *)

@@ -670,6 +670,52 @@ let equal_state a b =
   && List.equal equal_grant sa.s_deferred_grants sb.s_deferred_grants
   && Bool.equal sa.s_trigger_engaged sb.s_trigger_engaged
 
+(* Canonical fingerprint of the mutable state, for the model checker's
+   visited-state dedup.  Sets are folded in their (sorted) element
+   order; guards contribute their interned {!Guard.uid}, so hashing a
+   parked attempt costs O(1) regardless of guard size.  [evals] is
+   excluded, mirroring {!snapshot}: it only refines trace outcomes
+   (Parked vs Reduced), not behavior. *)
+let fingerprint t =
+  let open Fingerprint in
+  let fp_sym h s = string h (Symbol.name s) in
+  let fp_pol h = function Literal.Pos -> int h 1 | Literal.Neg -> int h 2 in
+  let fp_lit h (l : Literal.t) = fp_pol (fp_sym h l.Literal.sym) l.Literal.pol in
+  let fp_set h s = list fp_sym h (Symbol.Set.elements s) in
+  let h = fp_sym init t.sym in
+  let h =
+    list
+      (fun h sym ->
+        let h = fp_sym h sym in
+        match Knowledge.fate_of t.knowledge sym with
+        | Some (Knowledge.Occurred (pol, seqno)) -> int (fp_pol (int h 1) pol) seqno
+        | Some (Knowledge.Promised pol) -> fp_pol (int h 2) pol
+        | None -> int h 0)
+      h
+      (Knowledge.symbols t.knowledge)
+  in
+  let h = fp_set h t.reserved in
+  let h = list fp_sym h t.reserve_queue in
+  let h = option fp_sym h t.reserve_inflight in
+  let h = fp_set h t.reserve_backoff in
+  let h = option fp_lit h t.holder in
+  let h = list fp_lit h t.waiters in
+  let h =
+    list
+      (fun h p ->
+        int (bool (fp_pol h p.pol) p.via_trigger) (Guard.uid p.guard))
+      h t.parked
+  in
+  let h = option fp_pol h t.decided_pol in
+  let h = list fp_lit h (Literal.Set.elements t.promise_requested) in
+  let h =
+    list
+      (fun h (pol, requester, offers) ->
+        list fp_lit (fp_lit (fp_pol h pol) requester) offers)
+      h t.deferred_grants
+  in
+  bool h t.trigger_engaged
+
 let watched_symbols t =
   let acc =
     List.fold_left

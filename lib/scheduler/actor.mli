@@ -131,6 +131,13 @@ val equal_state : t -> t -> bool
     property suite checks [checkpoint + replay(suffix)] against the
     pre-crash actor with this. *)
 
+val fingerprint : t -> int
+(** Canonical {!Wf_core.Fingerprint} of the mutable state, for the
+    model checker's visited-state dedup.  Parked guards contribute
+    their interned {!Wf_core.Guard.uid} (dense, order-robust), so the
+    hash is O(state size) with O(1) per guard.  Two actors with
+    {!equal_state} have equal fingerprints. *)
+
 val watched_symbols : t -> Symbol.Set.t
 (** Symbols (other than the actor's own) whose actors this one
     observes: everything mentioned by its guards or parked attempts.

@@ -33,6 +33,18 @@ let pp ppf = function
   | Recovered { sym; epoch } ->
       Format.fprintf ppf "recovered %a epoch %d" Symbol.pp sym epoch
 
+let symbols = function
+  | Announce { lit; _ } -> [ Literal.symbol lit ]
+  | Promise_request { target; requester; offers } ->
+      Literal.symbol target :: Literal.symbol requester
+      :: List.map Literal.symbol offers
+  | Promise { lit; to_ } -> [ Literal.symbol lit; Literal.symbol to_ ]
+  | Reserve { sym; requester } -> [ sym; Literal.symbol requester ]
+  | Reserve_granted { sym; to_ } | Reserve_denied { sym; to_ } ->
+      [ sym; Literal.symbol to_ ]
+  | Release { sym; holder } -> [ sym; Literal.symbol holder ]
+  | Recovered { sym; _ } -> [ sym ]
+
 let label = function
   | Announce _ -> "announce"
   | Promise_request _ -> "promise_request"

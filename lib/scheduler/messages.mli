@@ -34,3 +34,9 @@ type t =
 val pp : Format.formatter -> t -> unit
 val label : t -> string
 (** Short tag for statistics ("announce", "promise", ...). *)
+
+val symbols : t -> Symbol.t list
+(** Every symbol the message mentions (literals contribute their
+    symbol).  The model checker's independence relation extends a
+    delivery's footprint with these, so two deliveries commute only when
+    the payloads, too, touch disjoint coupling classes. *)

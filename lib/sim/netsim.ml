@@ -52,6 +52,8 @@ type 'msg event =
     }
   | Action of (unit -> unit)
 
+type 'msg pending = { p_src : site; p_dst : site; p_control : bool; p_payload : 'msg }
+
 type 'msg t = {
   num_sites : int;
   latency : site -> site -> latency;
@@ -72,6 +74,11 @@ type 'msg t = {
   mutable crashes_injected : int;
   mutable clock : float;
   mutable seq : int;
+  mutable chooser : ('msg pending list -> int) option;
+      (* controlled delivery: when set, sent messages skip the latency
+         heap and wait in [ready]; the chooser picks which one the run
+         loop delivers next *)
+  mutable ready : 'msg event list; (* controlled mode, arrival order *)
 }
 
 let uniform_latency ~base ~jitter src dst =
@@ -101,6 +108,8 @@ let create ?(seed = 42L) ?(faults = no_faults) ~num_sites ~latency () =
       crashes_injected = 0;
       clock = 0.0;
       seq = 0;
+      chooser = None;
+      ready = [];
     }
   in
   (* Configured pause windows become timed pause/resume actions. *)
@@ -128,6 +137,16 @@ let fault_config t = t.faults
 let rng t = t.rng
 let set_tracer t sink = t.tracer <- sink
 let tracer t = t.tracer
+
+let set_chooser t chooser = t.chooser <- Some chooser
+
+let pending_deliveries t =
+  List.filter_map
+    (function
+      | Deliver { src; dst; control; payload; _ } ->
+          Some { p_src = src; p_dst = dst; p_control = control; p_payload = payload }
+      | Action _ -> None)
+    t.ready
 
 let on_receive t site handler =
   if site < 0 || site >= t.num_sites then
@@ -210,6 +229,11 @@ let partitioned t src dst =
     t.faults.partitions
 
 let enqueue_delivery t ~src ~dst ~control payload =
+  if t.chooser <> None then
+    (* Controlled mode: no latency model — the message is immediately
+       ready and the installed chooser decides the delivery order. *)
+    t.ready <- t.ready @ [ Deliver { src; dst; control; sent = t.clock; payload } ]
+  else begin
   let { base; jitter } = t.latency src dst in
   let delay =
     base +. (if jitter > 0.0 then Rng.exponential t.rng ~mean:jitter else 0.0)
@@ -243,6 +267,7 @@ let enqueue_delivery t ~src ~dst ~control payload =
      site's crash window is swallowed and must not count as received. *)
   Heap.push t.queue ~key:arrival ~seq:(next_seq t)
     (Deliver { src; dst; control; sent = t.clock; payload })
+  end
 
 let send ?(control = false) t ~src ~dst payload =
   Metrics.incr t.stats "messages_sent";
@@ -286,63 +311,88 @@ let schedule t ~delay action =
   Heap.push t.queue ~key:(t.clock +. delay) ~seq:(next_seq t) (Action action)
 
 let quiescent t =
-  Heap.is_empty t.queue && Array.for_all (fun q -> q = []) t.stalled
+  Heap.is_empty t.queue && t.ready = []
+  && Array.for_all (fun q -> q = []) t.stalled
+
+(* Execute one delivery at the current clock: stall behind a pause, drop
+   into a crash window, or run the handler — the one delivery path for
+   both the latency heap and the controlled-mode ready list. *)
+let execute_delivery t ~src ~dst ~control ~sent payload =
+  if t.paused.(dst) then begin
+    Metrics.incr t.stats "net_stalled";
+    (* keep the original send time: latency observed at
+       eventual delivery includes the stall *)
+    t.stalled.(dst) <-
+      Deliver { src; dst; control; sent; payload } :: t.stalled.(dst)
+  end
+  else if t.crashed.(dst) then begin
+    (* A crashed process receives nothing; the channel's
+       retransmission layer recovers the loss after the
+       epoch handshake. *)
+    Metrics.incr t.stats "net_crash_drops";
+    match t.tracer with
+    | None -> ()
+    | Some sink ->
+        Trace.emit sink
+          (Trace.make ~time:t.clock ~site:dst
+             (Trace.Drop { src; dst; reason = Trace.Crashed }))
+  end
+  else begin
+    Metrics.incr t.stats "messages_delivered";
+    Metrics.incr t.stats (Printf.sprintf "site_recv_%d" dst);
+    Metrics.observe t.stats "message_latency" (t.clock -. sent);
+    (match t.tracer with
+    | None -> ()
+    | Some sink ->
+        Trace.emit sink
+          (Trace.make ~time:t.clock ~site:dst (Trace.Deliver { src; dst })));
+    (match t.handlers.(dst) with
+    | Some h -> h src payload
+    | None -> Metrics.incr t.stats "messages_dropped");
+    (* Crash-on-deliver point: the receiving process dies
+       right after the handler ran — the transition took
+       effect and was journaled, but anything volatile is
+       lost.  Local (same-site) and control traffic is
+       exempt so recovery bookkeeping cannot crash-loop. *)
+    if src <> dst && not control then
+      maybe_crash t ~prob:t.faults.crash_on_deliver dst
+  end
+
+(* In controlled mode the chooser picks the next ready delivery; its
+   return value indexes the list [pending_deliveries] exposes. *)
+let deliver_chosen t choose =
+  let idx = choose (pending_deliveries t) in
+  let n = List.length t.ready in
+  if idx < 0 || idx >= n then
+    invalid_arg
+      (Printf.sprintf "Netsim: chooser index %d out of range [0,%d)" idx n);
+  let event = List.nth t.ready idx in
+  t.ready <- List.filteri (fun i _ -> i <> idx) t.ready;
+  match event with
+  | Deliver { src; dst; control; sent; payload } ->
+      execute_delivery t ~src ~dst ~control ~sent payload
+  | Action _ -> assert false
 
 let run ?(until = infinity) ?(max_steps = max_int) t =
   let steps = ref 0 in
   let continue = ref true in
   while !continue && !steps < max_steps do
-    match Heap.peek t.queue with
-    | None -> continue := false
-    | Some (time, _, _) when time > until -> continue := false
-    | Some _ -> (
-        match Heap.pop t.queue with
+    match t.chooser with
+    | Some choose when t.ready <> [] ->
+        incr steps;
+        deliver_chosen t choose
+    | _ -> (
+        match Heap.peek t.queue with
         | None -> continue := false
-        | Some (time, _, event) -> (
-            t.clock <- max t.clock time;
-            incr steps;
-            match event with
-            | Action f -> f ()
-            | Deliver { src; dst; control; sent; payload } ->
-                if t.paused.(dst) then begin
-                  Metrics.incr t.stats "net_stalled";
-                  (* keep the original send time: latency observed at
-                     eventual delivery includes the stall *)
-                  t.stalled.(dst) <-
-                    Deliver { src; dst; control; sent; payload }
-                    :: t.stalled.(dst)
-                end
-                else if t.crashed.(dst) then begin
-                  (* A crashed process receives nothing; the channel's
-                     retransmission layer recovers the loss after the
-                     epoch handshake. *)
-                  Metrics.incr t.stats "net_crash_drops";
-                  match t.tracer with
-                  | None -> ()
-                  | Some sink ->
-                      Trace.emit sink
-                        (Trace.make ~time:t.clock ~site:dst
-                           (Trace.Drop { src; dst; reason = Trace.Crashed }))
-                end
-                else begin
-                  Metrics.incr t.stats "messages_delivered";
-                  Metrics.incr t.stats (Printf.sprintf "site_recv_%d" dst);
-                  Metrics.observe t.stats "message_latency" (t.clock -. sent);
-                  (match t.tracer with
-                  | None -> ()
-                  | Some sink ->
-                      Trace.emit sink
-                        (Trace.make ~time:t.clock ~site:dst
-                           (Trace.Deliver { src; dst })));
-                  (match t.handlers.(dst) with
-                  | Some h -> h src payload
-                  | None -> Metrics.incr t.stats "messages_dropped");
-                  (* Crash-on-deliver point: the receiving process dies
-                     right after the handler ran — the transition took
-                     effect and was journaled, but anything volatile is
-                     lost.  Local (same-site) and control traffic is
-                     exempt so recovery bookkeeping cannot crash-loop. *)
-                  if src <> dst && not control then
-                    maybe_crash t ~prob:t.faults.crash_on_deliver dst
-                end))
+        | Some (time, _, _) when time > until -> continue := false
+        | Some _ -> (
+            match Heap.pop t.queue with
+            | None -> continue := false
+            | Some (time, _, event) -> (
+                t.clock <- max t.clock time;
+                incr steps;
+                match event with
+                | Action f -> f ()
+                | Deliver { src; dst; control; sent; payload } ->
+                    execute_delivery t ~src ~dst ~control ~sent payload)))
   done

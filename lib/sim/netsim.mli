@@ -171,3 +171,30 @@ val run : ?until:float -> ?max_steps:int -> 'msg t -> unit
 
 val quiescent : 'msg t -> bool
 (** No pending events and no stalled deliveries. *)
+
+(** {2 Controlled delivery}
+
+    In controlled mode the latency model is bypassed: every sent message
+    becomes {e ready} immediately (in send order), and each time {!run}
+    has ready messages it asks the installed chooser which one to
+    deliver next.  This is the hook the model checker uses to enumerate
+    delivery interleavings — and a test can plug a seeded random chooser
+    in to sample schedules the latency model would never produce.
+    Timed actions still flow through the virtual-time queue. *)
+
+type 'msg pending = {
+  p_src : site;
+  p_dst : site;
+  p_control : bool;
+  p_payload : 'msg;
+}
+(** A ready delivery, as shown to the chooser. *)
+
+val set_chooser : 'msg t -> ('msg pending list -> int) -> unit
+(** Enter controlled mode.  The chooser receives the ready deliveries
+    (send order) and returns the index of the one to deliver next;
+    an out-of-range index raises [Invalid_argument]. *)
+
+val pending_deliveries : 'msg t -> 'msg pending list
+(** The ready deliveries awaiting a choice (send order); empty outside
+    controlled mode. *)

@@ -11,6 +11,12 @@ let next_int64 t =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+(* Splitmix's outputs are well mixed, so seeding a child generator from
+   one draw yields a stream that shares no prefix with the parent's —
+   unlike [base_seed + i] schemes, whose streams are shifted copies of
+   one another. *)
+let split t = create (next_int64 t)
+
 let float t bound =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in
   (* 53 random bits to [0,1). *)

@@ -7,6 +7,14 @@ type t
 
 val create : int64 -> t
 val copy : t -> t
+
+val split : t -> t
+(** An independent child generator seeded from one draw of the parent.
+    Splitmix's output mixing makes the child's stream statistically
+    unrelated to the parent's remaining stream, so suites can derive
+    per-configuration seed streams that do not overlap (unlike
+    [base_seed + i], which yields shifted copies of one stream). *)
+
 val next_int64 : t -> int64
 val float : t -> float -> float
 (** [float t bound] is uniform in [0, bound). *)

@@ -46,6 +46,11 @@ let checkpoint t snapshot =
   t.checkpoints <- t.checkpoints + 1
 
 let recover t = (t.ckpt, List.rev t.suffix)
+
+(* Entries and checkpoints are immutable values, so a field-wise copy is
+   a full logical copy: the original and the copy evolve independently
+   while sharing the (persistent) suffix spine. *)
+let copy t = { t with appended = t.appended }
 let suffix_length t = t.suffix_len
 let total_appended t = t.appended
 let checkpoints_taken t = t.checkpoints

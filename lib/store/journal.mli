@@ -34,6 +34,13 @@ val recover : ('entry, 'ckpt) t -> 'ckpt option * 'entry list
 (** Latest checkpoint (or [None] if none was ever taken) and the
     entries appended after it, oldest first. *)
 
+val copy : ('entry, 'ckpt) t -> ('entry, 'ckpt) t
+(** An independent logical copy (entries and checkpoints are treated as
+    immutable values and shared).  The model checker snapshots a
+    journaled actor's durable state with this before exploring a
+    branch, so backtracking restores the journal along with the
+    volatile state. *)
+
 val suffix_length : ('entry, 'ckpt) t -> int
 val total_appended : ('entry, 'ckpt) t -> int
 val checkpoints_taken : ('entry, 'ckpt) t -> int

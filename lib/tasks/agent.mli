@@ -95,3 +95,20 @@ val undecided_complements : t -> Literal.t list
     agents, whose unseen instances are handled by quantification. *)
 
 val occurred_count : t -> int
+
+(** {2 Model-checker support}
+
+    The exhaustive checker explores delivery interleavings by
+    snapshot/restore backtracking over the whole scheduler state, the
+    agent included.  Snapshots capture only the mutable progress fields;
+    the script (which holds closures) and the model are immutable and
+    shared. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val fingerprint : t -> int
+(** Canonical {!Wf_core.Fingerprint} of the mutable state (occurrence
+    counts are order-canonicalized), for visited-state dedup. *)

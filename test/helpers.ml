@@ -24,6 +24,34 @@ let ng = Expr.complement "g"
 let alpha_ef = Universe.of_names [ "e"; "f" ]
 let alpha_efg = Universe.of_names [ "e"; "f"; "g" ]
 
+(* --- Conformance seed streams -------------------------------------------- *)
+
+(* Each sweep draws its seeds from a label-derived splitmix stream
+   instead of the literal range 1..20: [base + i] ranges overlap across
+   suites (the clean, faulty, and crash sweeps would all replay the
+   same 20 schedules), whereas split streams are pairwise uncorrelated
+   by construction.  The label is FNV-1a-hashed into the root seed, so
+   adding a suite never perturbs another suite's stream.  The streams
+   are pinned by [test_check]'s "seed streams are pinned" case: if this
+   derivation changes, the pins must be updated consciously. *)
+let suite_seeds label n =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    label;
+  let stream = Wf_sim.Rng.split (Wf_sim.Rng.create !h) in
+  (* explicit recursion: List.init's application order is unspecified,
+     and the draws are stateful *)
+  let rec draw k acc =
+    if k = 0 then List.rev acc
+    else draw (k - 1) (Wf_sim.Rng.next_int64 stream :: acc)
+  in
+  draw n []
+
 (* --- QCheck generators --------------------------------------------------- *)
 
 let symbol_names = [ "e"; "f"; "g" ]

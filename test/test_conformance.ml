@@ -78,18 +78,18 @@ let sched_name = function `Distributed -> "dist" | `Central -> "central"
    parametrized engine, not the ground schedulers: sweep it through
    [Param_driver] and require completion. *)
 let param_sweep ~label path def templates =
-  for seed = 1 to 20 do
-    let r =
-      Param_driver.run ~seed:(Int64.of_int seed)
-        ~templates:(List.map snd templates)
-        def
-    in
-    let name =
-      Printf.sprintf "%s %s param seed %d" label (Filename.basename path) seed
-    in
-    checkb (name ^ ": finished") r.Param_driver.finished;
-    checkb (name ^ ": nothing parked") (r.Param_driver.parked_final = [])
-  done
+  List.iter
+    (fun seed ->
+      let r =
+        Param_driver.run ~seed ~templates:(List.map snd templates) def
+      in
+      let name =
+        Printf.sprintf "%s %s param seed %Ld" label (Filename.basename path)
+          seed
+      in
+      checkb (name ^ ": finished") r.Param_driver.finished;
+      checkb (name ^ ": nothing parked") (r.Param_driver.parked_final = []))
+    (suite_seeds ("conformance-param-" ^ label) 20)
 
 let conformance_sweep ~faults ~label () =
   List.iter
@@ -102,22 +102,23 @@ let conformance_sweep ~faults ~label () =
         let deps = Wf_tasks.Workflow_def.dependencies def in
         List.iter
           (fun sched ->
-            for seed = 1 to 20 do
-              let r = run_one ~sched ~faults ~seed:(Int64.of_int seed) def in
-              let name =
-                Printf.sprintf "%s %s %s seed %d" label
-                  (Filename.basename path) (sched_name sched) seed
-              in
-              checkb (name ^ ": satisfied") r.Event_sched.satisfied;
-              let trace = Event_sched.trace_literals r in
-              checkb (name ^ ": well-formed trace") (Trace.well_formed trace);
-              List.iter
-                (fun dep ->
-                  checkb
-                    (name ^ ": denotation of " ^ Expr.to_string dep)
-                    (satisfied_by_denotation dep trace))
-                deps
-            done)
+            List.iter
+              (fun seed ->
+                let r = run_one ~sched ~faults ~seed def in
+                let name =
+                  Printf.sprintf "%s %s %s seed %Ld" label
+                    (Filename.basename path) (sched_name sched) seed
+                in
+                checkb (name ^ ": satisfied") r.Event_sched.satisfied;
+                let trace = Event_sched.trace_literals r in
+                checkb (name ^ ": well-formed trace") (Trace.well_formed trace);
+                List.iter
+                  (fun dep ->
+                    checkb
+                      (name ^ ": denotation of " ^ Expr.to_string dep)
+                      (satisfied_by_denotation dep trace))
+                  deps)
+              (suite_seeds ("conformance-" ^ label) 20))
           [ `Distributed; `Central ])
     (spec_files ())
 
@@ -138,24 +139,23 @@ let test_conformance_faulty () =
         let deps = Wf_tasks.Workflow_def.dependencies def in
         List.iter
           (fun sched ->
-            for seed = 1 to 20 do
-              let r =
-                run_one ~sched ~faults:fault_load ~seed:(Int64.of_int seed) def
-              in
-              let name =
-                Printf.sprintf "faulty %s %s seed %d" (Filename.basename path)
-                  (sched_name sched) seed
-              in
-              checkb (name ^ ": satisfied") r.Event_sched.satisfied;
-              let trace = Event_sched.trace_literals r in
-              List.iter
-                (fun dep ->
-                  checkb
-                    (name ^ ": denotation of " ^ Expr.to_string dep)
-                    (satisfied_by_denotation dep trace))
-                deps;
-              agg := Wf_obs.Metrics.merge !agg r.Event_sched.stats
-            done)
+            List.iter
+              (fun seed ->
+                let r = run_one ~sched ~faults:fault_load ~seed def in
+                let name =
+                  Printf.sprintf "faulty %s %s seed %Ld"
+                    (Filename.basename path) (sched_name sched) seed
+                in
+                checkb (name ^ ": satisfied") r.Event_sched.satisfied;
+                let trace = Event_sched.trace_literals r in
+                List.iter
+                  (fun dep ->
+                    checkb
+                      (name ^ ": denotation of " ^ Expr.to_string dep)
+                      (satisfied_by_denotation dep trace))
+                  deps;
+                agg := Wf_obs.Metrics.merge !agg r.Event_sched.stats)
+              (suite_seeds "conformance-faulty" 20))
           [ `Distributed; `Central ])
     (spec_files ());
   let count name = Wf_obs.Metrics.count !agg name in

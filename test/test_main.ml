@@ -20,4 +20,5 @@ let () =
       ("parametrized", Test_param.suite);
       ("language", Test_lang.suite);
       ("performance", Test_perf.suite);
+      ("check", Test_check.suite);
     ]

@@ -398,42 +398,44 @@ let test_crash_conformance () =
       if templates <> [] then
         (* Parametrized specs run on the (centralized) param engine:
            crash it every few attempts instead of crashing sites. *)
-        for seed = 1 to 20 do
-          let r =
-            Param_driver.run ~seed:(Int64.of_int seed) ~crash_every:4
-              ~templates:(List.map snd templates)
-              def
-          in
-          let name =
-            Printf.sprintf "crashy %s param seed %d" (Filename.basename path)
-              seed
-          in
-          checkb (name ^ ": finished") r.Param_driver.finished;
-          checkb (name ^ ": nothing parked") (r.Param_driver.parked_final = [])
-        done
+        List.iter
+          (fun seed ->
+            let r =
+              Param_driver.run ~seed ~crash_every:4
+                ~templates:(List.map snd templates)
+                def
+            in
+            let name =
+              Printf.sprintf "crashy %s param seed %Ld"
+                (Filename.basename path) seed
+            in
+            checkb (name ^ ": finished") r.Param_driver.finished;
+            checkb (name ^ ": nothing parked")
+              (r.Param_driver.parked_final = []))
+          (Helpers.suite_seeds "conformance-param-crash" 20)
       else
         let deps = Wf_tasks.Workflow_def.dependencies def in
         List.iter
           (fun sched ->
-            for seed = 1 to 20 do
-              let r =
-                run_one ~sched ~faults:crash_load ~seed:(Int64.of_int seed) def
-              in
-              let name =
-                Printf.sprintf "crashy %s %s seed %d" (Filename.basename path)
-                  (sched_name sched) seed
-              in
-              checkb (name ^ ": satisfied") r.Event_sched.satisfied;
-              let trace = Event_sched.trace_literals r in
-              checkb (name ^ ": well-formed trace") (Trace.well_formed trace);
-              List.iter
-                (fun dep ->
-                  checkb
-                    (name ^ ": denotation of " ^ Expr.to_string dep)
-                    (satisfied_by_denotation dep trace))
-                deps;
-              agg := Wf_obs.Metrics.merge !agg r.Event_sched.stats
-            done)
+            List.iter
+              (fun seed ->
+                let r = run_one ~sched ~faults:crash_load ~seed def in
+                let name =
+                  Printf.sprintf "crashy %s %s seed %Ld"
+                    (Filename.basename path) (sched_name sched) seed
+                in
+                checkb (name ^ ": satisfied") r.Event_sched.satisfied;
+                let trace = Event_sched.trace_literals r in
+                checkb (name ^ ": well-formed trace")
+                  (Trace.well_formed trace);
+                List.iter
+                  (fun dep ->
+                    checkb
+                      (name ^ ": denotation of " ^ Expr.to_string dep)
+                      (satisfied_by_denotation dep trace))
+                  deps;
+                agg := Wf_obs.Metrics.merge !agg r.Event_sched.stats)
+              (Helpers.suite_seeds "conformance-crash" 20))
           [ `Distributed; `Central ])
     (spec_files ());
   let count name = Wf_obs.Metrics.count !agg name in
