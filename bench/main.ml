@@ -769,9 +769,31 @@ type core_row = {
   config : string;
   naive_ns : float;
   opt_ns : float;
+  minor_words : float; (* allocation of one optimized-leg execution *)
+  major_words : float;
 }
 
 let speedup r = r.naive_ns /. r.opt_ns
+
+(* Allocation of a single execution, from [Gc.quick_stat] deltas; words
+   are deterministic where timings are not, so one sample suffices.
+   [quick_stat]'s minor_words only advances at minor collections, so
+   force one on each side to avoid 256k-word quantization (the closing
+   collection promotes survivors, which is the major-words figure we
+   want anyway: what the execution pinned). *)
+let alloc_words fn =
+  Gc.minor ();
+  let s0 = Gc.quick_stat () in
+  fn ();
+  Gc.minor ();
+  let s1 = Gc.quick_stat () in
+  ( s1.Gc.minor_words -. s0.Gc.minor_words,
+    s1.Gc.major_words -. s0.Gc.major_words )
+
+let pp_words w =
+  if w >= 1e6 then Printf.sprintf "%.1fMw" (w /. 1e6)
+  else if w >= 1e3 then Printf.sprintf "%.1fkw" (w /. 1e3)
+  else Printf.sprintf "%.0fw" w
 
 let with_intern enabled fn =
   let prev = Intern.enabled () in
@@ -822,10 +844,15 @@ let core_bench ~budget ~rows ~bench ~config work =
     let t = time_once opt in
     if t < !best_o then best_o := t
   done;
-  let row = { bench; config; naive_ns = !best_n; opt_ns = !best_o } in
+  let minor_words, major_words = alloc_words opt in
+  let row =
+    { bench; config; naive_ns = !best_n; opt_ns = !best_o;
+      minor_words; major_words }
+  in
   rows := row :: !rows;
-  Printf.printf "%-18s %-14s %12s %12s %8.1fx\n%!" bench config (pp_ns !best_n)
-    (pp_ns !best_o) (speedup row)
+  Printf.printf "%-18s %-14s %12s %12s %8.1fx %10s %10s\n%!" bench config
+    (pp_ns !best_n) (pp_ns !best_o) (speedup row) (pp_words minor_words)
+    (pp_words major_words)
 
 (* Three synthetic dependency families of growing width: chains
    x0.x1...xn (long sequential residuation), fan-ins (x0 & ... & xn).fin
@@ -877,8 +904,8 @@ let bench_core ~smoke () =
   let runs = if smoke then [ 1 ] else [ 2; 5 ] in
   let noise = if smoke then 16 else 64 in
   let rows = ref [] in
-  Printf.printf "%-18s %-14s %12s %12s %8s\n" "bench" "config" "naive"
-    "optimized" "speedup";
+  Printf.printf "%-18s %-14s %12s %12s %8s %10s %10s\n" "bench" "config"
+    "naive" "optimized" "speedup" "opt-minor" "opt-major";
   (* Per-bench rows run narrow to wide, so the last row of each bench is
      its widest configuration — the headline number in the JSON. *)
   let dep_benches mk fam widths =
@@ -946,17 +973,71 @@ let bench_core ~smoke () =
         ignore
           (List.fold_left (fun g x -> Guard.assimilate_occurred x g) g0 news))
   in
-  let opt_ns =
-    min_ns ~budget (fun () ->
-        ignore
-          (List.fold_left
-             (fun ix x -> Guard.Indexed.occurred x ix)
-             (Guard.Indexed.of_guard g0) news))
+  let indexed_fold () =
+    ignore
+      (List.fold_left
+         (fun ix x -> Guard.Indexed.occurred x ix)
+         (Guard.Indexed.of_guard g0) news)
   in
-  let row = { bench = "assimilation"; config; naive_ns; opt_ns } in
-  rows := row :: !rows;
-  Printf.printf "%-18s %-14s %12s %12s %8.1fx\n%!" row.bench config
-    (pp_ns naive_ns) (pp_ns opt_ns) (speedup row);
+  let opt_ns = min_ns ~budget indexed_fold in
+  let minor_words, major_words = alloc_words indexed_fold in
+  let row =
+    { bench = "assimilation"; config; naive_ns; opt_ns;
+      minor_words; major_words }
+  in
+  let emit row =
+    rows := row :: !rows;
+    Printf.printf "%-18s %-14s %12s %12s %8.1fx %10s %10s\n%!" row.bench
+      row.config (pp_ns row.naive_ns) (pp_ns row.opt_ns) (speedup row)
+      (pp_words row.minor_words) (pp_words row.major_words)
+  in
+  emit row;
+  (* Steady-state compiled assimilation: the full lifetime of a chain
+     guard, replayed symbol by symbol.  The symbolic leg is the indexed
+     fold the schedulers used before tables — each step residuates the
+     remaining chain — while the compiled leg walks the transition table
+     built once (and memoized) by Gtable.  The passes multiplier keeps
+     one sample well above clock resolution. *)
+  let ga_chains = if smoke then [ 4 ] else [ 6; 10 ] in
+  List.iter
+    (fun n ->
+      let d = chain_dep n in
+      let g0 =
+        with_intern true (fun () ->
+            Synth.guard d (lit (Printf.sprintf "x%d" (n - 1))))
+      in
+      match with_intern true (fun () -> Gtable.lookup g0) with
+      | None ->
+          (* Guards past the compile bound stay on the symbolic leg at
+             runtime too; nothing to compare. *)
+          Printf.printf "%-18s chain-%-8d   (exceeds table bound; skipped)\n%!"
+            "guard-assimilation" n
+      | Some tbl ->
+      let stream = List.init (n - 1) (fun i -> lit (Printf.sprintf "x%d" i)) in
+      let passes = 200 in
+      let symbolic () =
+        for _ = 1 to passes do
+          ignore
+            (List.fold_left
+               (fun ix x -> Guard.Indexed.occurred x ix)
+               (Guard.Indexed.of_guard g0) stream)
+        done
+      in
+      let compiled () =
+        for _ = 1 to passes do
+          ignore
+            (List.fold_left
+               (fun s x -> Gtable.step_occurred tbl s x)
+               (Gtable.initial tbl) stream)
+        done
+      in
+      let naive_ns = min_ns ~budget symbolic in
+      let opt_ns = min_ns ~budget compiled in
+      let minor_words, major_words = alloc_words compiled in
+      emit
+        { bench = "guard-assimilation"; config = Printf.sprintf "chain-%d" n;
+          naive_ns; opt_ns; minor_words; major_words })
+    ga_chains;
   List.rev !rows
 
 (* Hand-rolled JSON (no extra dependencies); nan timings become null. *)
@@ -981,8 +1062,10 @@ let write_core_json path ~smoke rows =
   let row_json r =
     Printf.sprintf
       "{\"bench\": \"%s\", \"config\": \"%s\", \"naive_ns\": %s, \
-       \"optimized_ns\": %s, \"speedup\": %s}"
+       \"optimized_ns\": %s, \"speedup\": %s, \"minor_words\": %.0f, \
+       \"major_words\": %.0f}"
       r.bench r.config (js_float r.naive_ns) (js_float r.opt_ns) (js_ratio r)
+      r.minor_words r.major_words
   in
   Printf.fprintf oc "{\n  \"suite\": \"core-scaling\",\n  \"mode\": \"%s\",\n"
     (if smoke then "smoke" else "full");

@@ -18,6 +18,11 @@ type t = {
   accepting : bool array;
   dead : bool array;
   completable : bool array;
+  mutable required : Literal.Set.t array option;
+      (* lazily-filled cache of {!required_literals} for every state:
+         the fixpoint already visits all states, so the first query pays
+         for the whole automaton and later per-decision queries are an
+         array read *)
 }
 
 let initial _ = 0
@@ -86,6 +91,7 @@ let finish ~small ~alpha_syms states alphabet edge_tbl =
     accepting;
     dead;
     completable;
+    required = None;
   }
 
 (* State identity, both builds: semantic over the dependency's own
@@ -300,7 +306,7 @@ let to_dot t =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let required_literals t s0 =
+let compute_required t =
   let n = Array.length t.states in
   let all = Literal.Set.of_list t.alphabet in
   (* Greatest fixpoint: req(accepting) = ∅;
@@ -335,4 +341,15 @@ let required_literals t s0 =
       end
     done
   done;
+  req
+
+let required_literals t s0 =
+  let req =
+    match t.required with
+    | Some req -> req
+    | None ->
+        let req = compute_required t in
+        t.required <- Some req;
+        req
+  in
   req.(s0)

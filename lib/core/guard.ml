@@ -119,15 +119,33 @@ let rec merge_pass acc = function
       | None -> merge_pass (p :: acc) rest)
 
 let normalize_sum products =
+  match products with
+  (* The empty and singleton sums are already canonical (their products
+     are normalized individually); synthesis produces them constantly at
+     recursion leaves, so skipping the passes matters. *)
+  | [] | [ _ ] -> products
+  | _ ->
   let products = List.sort_uniq compare_product products in
   let products = merge_pass [] products in
   let products = List.sort_uniq compare_product products in
-  let absorbed p =
-    List.exists
-      (fun q -> compare_product p q <> 0 && product_implies p q)
-      products
+  (* [p] can only imply [q] if [q]'s constrained symbols are a subset of
+     [p]'s: normalized products carry no full masks, so a symbol [q]
+     constrains and [p] does not refutes implication outright.  Tagging
+     each product with its mask count turns most of the quadratic
+     implication scan into an integer comparison; and [sort_uniq] has
+     made the products pairwise distinct, so pointer inequality replaces
+     the structural [compare_product] guard. *)
+  let tagged =
+    List.map (fun p -> (Symbol.Map.cardinal p.masks, p)) products
   in
-  let products = List.filter (fun p -> not (absorbed p)) products in
+  let absorbed cp p =
+    List.exists
+      (fun (cq, q) -> cq <= cp && p != q && product_implies p q)
+      tagged
+  in
+  let products =
+    List.filter_map (fun (cp, p) -> if absorbed cp p then None else Some p) tagged
+  in
   (* A [⊤] product absorbs the whole sum. *)
   if
     List.exists
@@ -155,24 +173,92 @@ let will_term (tau : Term.t) =
   | None -> bottom
   | Some p -> [ p ]
 
-let conj a b =
-  let pairs =
-    List.concat_map
-      (fun p ->
-        List.filter_map
-          (fun q ->
-            let masks =
-              Symbol.Map.fold (fun sym m acc -> constrain sym m acc) q.masks p.masks
-            in
-            normalize_product masks (p.pending @ q.pending))
-          b)
-      a
+(* Conjoining a single-constraint product — the [has]/[hasnt]/[will]
+   shape synthesis builds at every branch — needs none of
+   [normalize_product]'s machinery on the other side: each of its
+   products is already normalized, and intersecting one symbol's mask
+   cannot disturb pending terms or the other symbols' masks.  This is
+   the hot path of {!Synth}, which conjoins [has f] onto a finished
+   subguard at every recursion node. *)
+let constrain_one sym m q =
+  let current =
+    match Symbol.Map.find_opt sym q.masks with
+    | Some c -> c
+    | None -> Symbol_state.full
   in
-  normalize_sum pairs
+  let inter = Symbol_state.inter m current in
+  if Symbol_state.is_empty inter then None
+  else if Symbol_state.is_full inter then
+    Some { q with masks = Symbol.Map.remove sym q.masks }
+  else Some { q with masks = Symbol.Map.add sym inter q.masks }
+
+let single_constraint = function
+  | [ { masks; pending = [] } ] -> (
+      match (Symbol.Map.min_binding_opt masks, Symbol.Map.max_binding_opt masks) with
+      | Some (s1, m1), Some (s2, _) when Symbol.equal s1 s2 -> Some (s1, m1)
+      | _ -> None)
+  | _ -> None
+
+let is_top = function
+  | [ p ] -> Symbol.Map.is_empty p.masks && List.is_empty p.pending
+  | _ -> false
+
+let conj a b =
+  (* [⊤] and [⊥] units: [conj_all [g]] and friends would otherwise
+     renormalize an already-canonical operand product by product. *)
+  if is_top a then b
+  else if is_top b then a
+  else if List.is_empty a || List.is_empty b then bottom
+  else
+  match single_constraint a with
+  | Some (sym, m) -> normalize_sum (List.filter_map (constrain_one sym m) b)
+  | None -> (
+      match single_constraint b with
+      | Some (sym, m) -> normalize_sum (List.filter_map (constrain_one sym m) a)
+      | None ->
+          let pairs =
+            List.concat_map
+              (fun p ->
+                List.filter_map
+                  (fun q ->
+                    let masks =
+                      Symbol.Map.fold
+                        (fun sym m acc -> constrain sym m acc)
+                        q.masks p.masks
+                    in
+                    normalize_product masks (p.pending @ q.pending))
+                  b)
+              a
+          in
+          normalize_sum pairs)
 
 let sum a b = normalize_sum (a @ b)
+
+(* The sum a synthesis node builds — [first ∨ ⋁_f (has f ∧ g_f)] — in
+   one normalization pass.  Conjoining [has f] onto each branch via
+   {!conj} would canonicalize every branch sum only for the enclosing
+   sum to re-sort, re-merge, and re-absorb the same products; here the
+   branches contribute raw constrained products and the sum-level
+   passes run once. *)
+let branch_sum first branches =
+  normalize_sum
+    (List.fold_left
+       (fun acc (l, g) ->
+         let sym = Literal.symbol l in
+         let m = Symbol_state.has l.Literal.pol in
+         List.fold_left
+           (fun acc q ->
+             match constrain_one sym m q with
+             | Some p -> p :: acc
+             | None -> acc)
+           acc g)
+       first branches)
 let conj_all gs = List.fold_left conj top gs
-let sum_all gs = List.fold_left sum bottom gs
+
+(* One normalization over all summands, not a fold of pairwise [sum]s:
+   sort/merge/absorb are quadratic in the sum's width, so renormalizing
+   the growing accumulator k times would pay that k times over. *)
+let sum_all gs = normalize_sum (List.concat gs)
 
 let will_nf (nf_ : Nf.t) =
   (* ◇ distributes over + and | because satisfaction is monotone along a
@@ -181,6 +267,21 @@ let will_nf (nf_ : Nf.t) =
     (List.map
        (fun prod -> conj_all (List.map will_term prod))
        nf_)
+
+(* [◇E] memoized by the normal form's interned id: guard synthesis
+   computes [will_nf] of a residual at every recursion node, and the
+   ~n² nodes of a workflow share only ~n distinct residuals, so the
+   sum/conj normalization here dominated synthesis time. *)
+let will_tbl : (Intern.id, t) Hashtbl.t = Hashtbl.create 1024
+let () = Intern.register_clearer (fun () -> Hashtbl.reset will_tbl)
+
+let will_nf_interned nf_ id =
+  match Hashtbl.find_opt will_tbl id with
+  | Some g -> g
+  | None ->
+      let g = will_nf nf_ in
+      Hashtbl.add will_tbl id g;
+      g
 
 (* --- inspection --------------------------------------------------------- *)
 

@@ -49,10 +49,23 @@ val will_nf : Nf.t -> t
 (** [◇E] for a normal form [E]; sound because occurrence predicates are
     monotone along a trace, so [◇] distributes over [+] and [|]. *)
 
+val will_nf_interned : Nf.t -> Intern.id -> t
+(** {!will_nf} memoized by the normal form's interned id (the caller
+    already holds it when chaining residuations).  The memo is dropped
+    by {!Intern.clear_memos}. *)
+
 val conj : t -> t -> t
 val sum : t -> t -> t
 val conj_all : t list -> t
 val sum_all : t list -> t
+
+val branch_sum : t -> (Literal.t * t) list -> t
+(** [branch_sum first branches] is
+    [sum_all (first :: List.map (fun (l, g) -> conj (has l) g) branches)]
+    computed with a single sum-level normalization pass instead of one
+    per branch.  This is the shape synthesis builds at every recursion
+    node, so the saved renormalizations dominate end-to-end guard
+    synthesis time. *)
 
 (** {1 Inspection} *)
 

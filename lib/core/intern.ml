@@ -65,6 +65,12 @@ let term (t : Term.t) = intern_ids term_tbl (List.map literal t)
 let product (p : Nf.product) = intern_ids prod_tbl (List.map term p)
 let nf (t : Nf.t) = intern_ids nf_tbl (List.map product t)
 
+(* Generic id lists (e.g. Synth's γ literal sets), so derived values
+   keyed on a set of ids can use an (id, id) pair key like everything
+   else. *)
+let ids_tbl : id Ids_tbl.t = Ids_tbl.create 1024
+let ids l = intern_ids ids_tbl l
+
 let enabled_flag = ref true
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b

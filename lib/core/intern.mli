@@ -33,6 +33,11 @@ val term : Term.t -> id
 val product : Nf.product -> id
 val nf : Nf.t -> id
 
+val ids : id list -> id
+(** Intern an arbitrary id list (order-sensitive), for derived values
+    keyed on a set of already-interned parts — e.g. {!Synth}'s γ
+    literal sets. *)
+
 val enabled : unit -> bool
 (** Whether optimized (interned + memoized) kernels are in force.
     Defaults to [true]. *)

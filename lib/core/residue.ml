@@ -24,53 +24,22 @@ let nf_naive (t : Nf.t) e : Nf.t =
 
 module Pair_tbl = Intern.Pair_tbl
 
-let term_memo : Term.t option Pair_tbl.t = Pair_tbl.create 4096
-
 (* The memo stores each residual together with its interned id, so
    callers that chain residuations (guard synthesis, automaton
    construction) get the next memo key for free instead of re-walking
-   the result's structure. *)
+   the result's structure.  There is deliberately no term-level memo
+   below this one: [Term.residue] is a plain list scan, cheaper than
+   the [Intern.term] walk a per-term key would cost on every probe, so
+   a miss here just recomputes terms naively. *)
 let nf_memo : (Nf.t * Intern.id) Pair_tbl.t = Pair_tbl.create 4096
-
-let () =
-  Intern.register_clearer (fun () ->
-      Pair_tbl.reset term_memo;
-      Pair_tbl.reset nf_memo)
-
-let term_residue tm e =
-  if not (Intern.enabled ()) then Term.residue tm e
-  else
-    let key = (Intern.term tm, Intern.literal e) in
-    match Pair_tbl.find_opt term_memo key with
-    | Some r -> r
-    | None ->
-        let r = Term.residue tm e in
-        Pair_tbl.add term_memo key r;
-        r
-
-let product_memo p e =
-  let rec go acc = function
-    | [] -> Nf.normalize_product acc
-    | tm :: rest -> (
-        match term_residue tm e with
-        | None -> None
-        | Some tm' -> go (tm' :: acc) rest)
-  in
-  go [] p
+let () = Intern.register_clearer (fun () -> Pair_tbl.reset nf_memo)
 
 let nf_interned (t : Nf.t) t_id e e_id : Nf.t * Intern.id =
   let key = (t_id, e_id) in
   match Pair_tbl.find_opt nf_memo key with
   | Some entry -> entry
   | None ->
-      let r =
-        List.fold_left
-          (fun acc p ->
-            match product_memo p e with
-            | None -> acc
-            | Some p' -> Nf.sum acc [ p' ])
-          Nf.zero t
-      in
+      let r = nf_naive t e in
       let entry = (r, Intern.nf r) in
       Pair_tbl.add nf_memo key entry;
       entry

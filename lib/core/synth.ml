@@ -29,10 +29,8 @@ let rec guard_memo memo (d : Nf.t) (e : Literal.t) =
           (Guard.will_nf (Residue.nf_naive d e))
           (Guard.conj_all (List.map Guard.hasnt gamma_de))
       in
-      let branch f =
-        Guard.conj (Guard.has f) (guard_memo memo (Residue.nf_naive d f) e)
-      in
-      let g = Guard.sum_all (first :: List.map branch gamma_de) in
+      let branch f = (f, guard_memo memo (Residue.nf_naive d f) e) in
+      let g = Guard.branch_sum first (List.map branch gamma_de) in
       memo := Memo.add (d, e) g !memo;
       g
 
@@ -48,25 +46,63 @@ let guard_nf_naive d e = guard_memo (ref Memo.empty) d e
 let guard_tbl : Guard.t Intern.Pair_tbl.t = Intern.Pair_tbl.create 4096
 let () = Intern.register_clearer (fun () -> Intern.Pair_tbl.reset guard_tbl)
 
-(* The literal set of a residual is needed at every recursion node, for
+(* The literal list of a residual is needed at every recursion node, for
    every event it is residuated against; computing it once per distinct
-   interned form shares the walk across all of a workflow's guards. *)
-let lits_tbl : (Intern.id, Literal.Set.t) Hashtbl.t = Hashtbl.create 1024
+   interned form — literal ids riding along — shares the walk across all
+   of a workflow's guards. *)
+let lits_tbl : (Intern.id, (Literal.t * Intern.id) list) Hashtbl.t =
+  Hashtbl.create 1024
+
 let () = Intern.register_clearer (fun () -> Hashtbl.reset lits_tbl)
 
 let nf_literals d d_id =
   match Hashtbl.find_opt lits_tbl d_id with
-  | Some s -> s
+  | Some l -> l
   | None ->
-      let s = Nf.literals d in
-      Hashtbl.add lits_tbl d_id s;
-      s
+      let l =
+        List.map
+          (fun l -> (l, Intern.literal l))
+          (Literal.Set.elements (Nf.literals d))
+      in
+      Hashtbl.add lits_tbl d_id l;
+      l
 
 let gamma_shared d d_id e =
-  Literal.Set.elements
-    (Literal.Set.filter
-       (fun l -> not (Symbol.equal (Literal.symbol l) (Literal.symbol e)))
-       (nf_literals d d_id))
+  List.filter
+    (fun (l, _) -> not (Symbol.equal (Literal.symbol l) (Literal.symbol e)))
+    (nf_literals d d_id)
+
+(* The non-recursive head of a node, [◇(D/e) ∧ ⋀_{f∈γ} ¬f], depends on
+   the node only through the residual and γ — and those recur across
+   the workflow's guards (removing different events from a dependency
+   often leaves the same remnant), so both the ¬-product and the whole
+   conjunction are keyed e-independently and shared. *)
+let hasnt_tbl : (Intern.id, Guard.t) Hashtbl.t = Hashtbl.create 1024
+let first_tbl : Guard.t Intern.Pair_tbl.t = Intern.Pair_tbl.create 4096
+
+let () =
+  Intern.register_clearer (fun () ->
+      Hashtbl.reset hasnt_tbl;
+      Intern.Pair_tbl.reset first_tbl)
+
+let first_of rde rde_id gamma_de =
+  let gid = Intern.ids (List.map snd gamma_de) in
+  match Intern.Pair_tbl.find_opt first_tbl (rde_id, gid) with
+  | Some g -> g
+  | None ->
+      let hasnt =
+        match Hashtbl.find_opt hasnt_tbl gid with
+        | Some h -> h
+        | None ->
+            let h =
+              Guard.conj_all (List.map (fun (l, _) -> Guard.hasnt l) gamma_de)
+            in
+            Hashtbl.add hasnt_tbl gid h;
+            h
+      in
+      let g = Guard.conj (Guard.will_nf_interned rde rde_id) hasnt in
+      Intern.Pair_tbl.add first_tbl (rde_id, gid) g;
+      g
 
 (* Ids are threaded through the recursion: every normal form is interned
    exactly once — when residuation first produces it — and every probe
@@ -77,16 +113,13 @@ let rec guard_shared_ids (d : Nf.t) d_id (e : Literal.t) e_id =
   | Some g -> g
   | None ->
       let gamma_de = gamma_shared d d_id e in
-      let rde, _ = Residue.nf_interned d d_id e e_id in
-      let first =
-        Guard.conj (Guard.will_nf rde)
-          (Guard.conj_all (List.map Guard.hasnt gamma_de))
+      let rde, rde_id = Residue.nf_interned d d_id e e_id in
+      let first = first_of rde rde_id gamma_de in
+      let branch (f, f_id) =
+        let rdf, rdf_id = Residue.nf_interned d d_id f f_id in
+        (f, guard_shared_ids rdf rdf_id e e_id)
       in
-      let branch f =
-        let rdf, rdf_id = Residue.nf_interned d d_id f (Intern.literal f) in
-        Guard.conj (Guard.has f) (guard_shared_ids rdf rdf_id e e_id)
-      in
-      let g = Guard.sum_all (first :: List.map branch gamma_de) in
+      let g = Guard.branch_sum first (List.map branch gamma_de) in
       Intern.Pair_tbl.add guard_tbl key g;
       g
 
@@ -108,9 +141,21 @@ let workflow_guard deps e =
        deps)
 
 let all_guards deps =
+  (* Normal forms and literal sets are per-dependency, not per-(dep,
+     literal): hoisting them out of the inner loop saves recomputing
+     the (exponential-width) shuffle normal form once per event. *)
+  let nfs = List.map (fun d -> (Expr.literals d, Nf.of_expr d)) deps in
   let lits =
     List.fold_left
-      (fun acc d -> Literal.Set.union acc (Expr.literals d))
-      Literal.Set.empty deps
+      (fun acc (ls, _) -> Literal.Set.union acc ls)
+      Literal.Set.empty nfs
   in
-  List.map (fun l -> (l, workflow_guard deps l)) (Literal.Set.elements lits)
+  List.map
+    (fun l ->
+      ( l,
+        Guard.conj_all
+          (List.filter_map
+             (fun (ls, nf) ->
+               if Literal.Set.mem l ls then Some (guard_nf nf l) else None)
+             nfs) ))
+    (Literal.Set.elements lits)

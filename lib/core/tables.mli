@@ -25,5 +25,11 @@ val example8_laws : unit -> (string * bool) list
     (d) [◇e + □ē ≠ ⊤]; (e) [¬e] is the boolean complement of [□e];
     (f) [¬e + □ē = ¬e]. *)
 
+val gtable_verdicts : Gtable.t -> t
+(** Verdict matrix of a compiled guard table: one row per residuation
+    state (labeled with its residual guard), columns
+    [enabled]/[violated]/[forced].  Renders with {!render}, like the
+    figure. *)
+
 val render : t -> string
 (** ASCII rendering with ✓ marks, in the style of the figure. *)

@@ -20,10 +20,26 @@ type parked = {
   mutable evals : int;
       (* Unknown-status evaluations so far: 0 means the next Unknown is
          the initial parking, >0 means a re-evaluation (trace Reduced) *)
+  mutable tbl : Gtable.t option option;
+      (* compiled residuation table: [None] = not looked up yet,
+         [Some None] = guard stays symbolic.  A derived cache — never
+         snapshotted, fingerprinted, or compared; rebuilt after restore. *)
+  mutable tview : (Knowledge.t * Gtable.state) option;
+      (* last (knowledge, table state) pair: knowledge values are
+         immutable and replaced on change, so physical equality of the
+         map detects staleness exactly *)
 }
 
 let park ~pol ~via_trigger guard =
-  { pol; via_trigger; guard; watch = Guard.symbols guard; evals = 0 }
+  {
+    pol;
+    via_trigger;
+    guard;
+    watch = Guard.symbols guard;
+    evals = 0;
+    tbl = None;
+    tview = None;
+  }
 
 (* Trace hook: guard ids are only interned when a sink is listening. *)
 let note_assim ctx outcome guard =
@@ -86,6 +102,33 @@ let knowledge t = t.knowledge
 let lit t pol : Literal.t = { Literal.sym = t.sym; pol }
 let guard_of t = function Literal.Pos -> t.guard_pos | Literal.Neg -> t.guard_neg
 let attr_of t = function Literal.Pos -> t.attr_pos | Literal.Neg -> t.attr_neg
+
+(* Compiled-table fast path for the steady-state evaluation in
+   [try_fire]: a decisive verdict (residual ⊤ or 0) short-circuits the
+   symbolic [Knowledge.status]; [Open] falls back — reservations and
+   coverage-[True] sums need the full check.  Decisive verdicts are
+   sound under reservations because they hold over all completions. *)
+let parked_verdict t (p : parked) =
+  let tbl =
+    match p.tbl with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Gtable.lookup p.guard in
+        p.tbl <- Some tbl;
+        tbl
+  in
+  match tbl with
+  | None -> Gtable.Open
+  | Some tbl ->
+      let s =
+        match p.tview with
+        | Some (k, s) when k == t.knowledge -> s
+        | _ ->
+            let s = Gtable.of_knowledge tbl t.knowledge in
+            p.tview <- Some (t.knowledge, s);
+            s
+      in
+      Gtable.verdict tbl s
 
 let release_all ctx t =
   Symbol.Set.iter
@@ -219,7 +262,13 @@ let rec try_fire ctx t (p : parked) =
         t.parked <- List.filter (fun q -> q != p) t.parked;
         if not p.via_trigger then ctx.reject (lit t p.pol)
     | None -> (
-        let status = Knowledge.status ~reserved:t.reserved t.knowledge p.guard in
+        let status =
+          match parked_verdict t p with
+          | Gtable.Enabled -> Knowledge.True
+          | Gtable.Violated -> Knowledge.False
+          | Gtable.Open ->
+              Knowledge.status ~reserved:t.reserved t.knowledge p.guard
+        in
         (* While our symbol is reserved we defer firing — but a guard
            that has collapsed to 0 can never recover, so a rejectable
            attempt is rejected deterministically even while held

@@ -38,6 +38,10 @@ type dep_state = {
   lits : Literal.Set.t; (* Expr.literals dep, precomputed: [mentions] is hot *)
   automaton : Automaton.t;
   mutable state : Automaton.state;
+  feas : (Automaton.state * Literal.t, bool) Hashtbl.t;
+      (* memoized [feasible] DFS results: the answer is a pure function
+         of (current state, literal) over the fixed automaton, and the
+         same query recurs for every parked re-examination *)
 }
 
 (* Journaled center inputs and the checkpointed volatile state.
@@ -138,7 +142,10 @@ let feasible rt lit =
   List.for_all
     (fun ds ->
       if not (mentions ds lit) then true
-      else begin
+      else
+        match Hashtbl.find_opt ds.feas (ds.state, lit) with
+        | Some b -> b
+        | None ->
         let aut = ds.automaton in
         let n = Automaton.num_states aut in
         let visited = Array.make n false in
@@ -155,8 +162,9 @@ let feasible rt lit =
                  (Automaton.alphabet aut)
           end
         in
-        explore ds.state
-      end)
+        let b = explore ds.state in
+        Hashtbl.add ds.feas (ds.state, lit) b;
+        b)
     rt.deps
 
 let send_to_agent rt instance m =
@@ -416,6 +424,7 @@ let run ?(config = default_config) wf =
               lits = Expr.literals d;
               automaton = Automaton.build d;
               state = 0;
+              feas = Hashtbl.create 64;
             })
           deps_exprs;
       journal =

@@ -233,9 +233,12 @@ and schedule_agent rt agent =
             (* Uncontrollable: announced, not requested.  Record a
                violation if the guard would have said no. *)
             let actor = actor_of rt sym in
+            let g = (Compile.plan rt.compiled (Literal.pos sym)).Compile.guard in
+            let know = Actor.knowledge actor in
             (match
-               Knowledge.status (Actor.knowledge actor)
-                 (Compile.plan rt.compiled (Literal.pos sym)).Compile.guard
+               match Gtable.status_hint g know with
+               | Some s -> s
+               | None -> Knowledge.status know g
              with
             | Knowledge.False ->
                 Wf_obs.Metrics.incr (stats rt) "uncontrollable_violations"

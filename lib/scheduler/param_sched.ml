@@ -124,9 +124,14 @@ let undecided_symbols t g =
     (Guard.symbols g)
 
 (* A ground, active (or bound) instance: undecided symbols are known to
-   be undecided right now — the engine is the single arbiter. *)
+   be undecided right now — the engine is the single arbiter.  Ground
+   instances have a closed alphabet, so the compiled residuation table
+   may short-circuit the evaluation; [Open] (and fresh instances below,
+   whose alphabet grows with unseen tokens) stay on the symbolic leg. *)
 let eval_active t g =
-  Knowledge.status ~reserved:(undecided_symbols t g) t.know g
+  match Gtable.status_hint g t.know with
+  | Some s -> s
+  | None -> Knowledge.status ~reserved:(undecided_symbols t g) t.know g
 
 (* A fresh instance: its never-seen tokens will never occur. *)
 let eval_fresh t g =

@@ -211,9 +211,12 @@ let do_attempt t instance =
         (* Uncontrollable: announced, not requested.  Record a violation
            if the guard would have said no. *)
         let actor = actor_of t sym in
+        let g = (Compile.plan t.compiled (Literal.pos sym)).Compile.guard in
+        let know = Actor.knowledge actor in
         (match
-           Knowledge.status (Actor.knowledge actor)
-             (Compile.plan t.compiled (Literal.pos sym)).Compile.guard
+           match Gtable.status_hint g know with
+           | Some s -> s
+           | None -> Knowledge.status know g
          with
         | Knowledge.False -> t.uncontrollable <- t.uncontrollable + 1
         | _ -> ());

@@ -8,6 +8,7 @@ let () =
       ("guards", Test_guard.suite);
       ("knowledge", Test_knowledge.suite);
       ("synthesis", Test_synth.suite);
+      ("gtable", Test_gtable.suite);
       ("simulator", Test_sim.suite);
       ("channel", Test_channel.suite);
       ("observability", Test_obs.suite);
