@@ -8,11 +8,12 @@
      --scaling   run only the CORE before/after scaling suite
      --crash     run only the crash-recovery overhead suite
      --check     run only the model-checker exploration suite
+     --store     run only the durable-log overhead and salvage suite
      --smoke     small configs and quotas (CI smoke job)
      --json [F]  write the selected suite's numbers to F (default
-                 BENCH_CORE.json, BENCH_CRASH.json with --crash, or
-                 BENCH_CHECK.json with --check, in the current
-                 directory) *)
+                 BENCH_CORE.json, BENCH_CRASH.json with --crash,
+                 BENCH_CHECK.json with --check, or BENCH_STORE.json
+                 with --store, in the current directory) *)
 
 open Wf_core
 open Wf_tasks
@@ -558,6 +559,215 @@ let write_check_json path ~smoke rows =
     (String.concat ",\n    " (List.map row_json rows));
   close_out oc
 
+(* --- STORE: durable log overhead and salvage --------------------------------- *)
+
+let store_codec : (string, string) Wf_store.Log.codec =
+  {
+    Wf_store.Log.enc_entry = Fun.id;
+    dec_entry = Option.some;
+    enc_ckpt = Fun.id;
+    dec_ckpt = Option.some;
+  }
+
+type salvage_row = {
+  v_fault : string;
+  v_trials : int;
+  v_fired : int;  (** trials in which the fault actually bit *)
+  v_fallbacks : int;  (** salvages that fell back to an older checkpoint *)
+  v_kept : float;  (** mean fraction of entries surviving the salvage *)
+  v_valid : bool;  (** every salvage was a valid prefix + clean re-scan *)
+}
+
+type store_report = {
+  s_plain_ns : float;  (** journal append, no durable backend *)
+  s_framed_ns : float;  (** journal append mirrored into the framed log *)
+  s_bytes_per_entry : float;
+  s_recover : (int * float) list;  (** log length (entries) → scan time *)
+  s_salvage : salvage_row list;
+}
+
+(* The durable layer's economics: what framing + checksumming costs per
+   append, how the salvage scan's latency grows with log length, and —
+   per fault kind at probability 1 — how much of the log survives and
+   whether every salvage is a valid prefix (the soundness claim the
+   QCheck differential tests in anger). *)
+let bench_store ?(smoke = false) () =
+  section "STORE"
+    "Framed-log append overhead, salvage latency, and fault survival";
+  let batch = 256 in
+  let payload i = Printf.sprintf "entry-%04d" i in
+  let plain_ns =
+    measure_ns "store:plain-append" (fun () ->
+        let j = Wf_store.Journal.create ~checkpoint_every:max_int () in
+        for i = 0 to batch - 1 do
+          Wf_store.Journal.append j (payload i)
+        done)
+    /. float_of_int batch
+  in
+  let framed_ns =
+    measure_ns "store:framed-append" (fun () ->
+        let sim = Wf_store.Media.Sim.create () in
+        let log = Wf_store.Log.create store_codec (Wf_store.Media.Sim.device sim) in
+        let j = Wf_store.Journal.create ~checkpoint_every:max_int () in
+        Wf_store.Journal.attach j log;
+        for i = 0 to batch - 1 do
+          Wf_store.Journal.append j (payload i)
+        done;
+        Wf_store.Journal.sync j)
+    /. float_of_int batch
+  in
+  let bytes_per_entry =
+    let stats = Wf_obs.Metrics.create () in
+    let sim = Wf_store.Media.Sim.create ~stats () in
+    let log = Wf_store.Log.create store_codec (Wf_store.Media.Sim.device sim) in
+    for i = 0 to batch - 1 do
+      Wf_store.Log.append log (payload i)
+    done;
+    Wf_store.Log.sync log;
+    float_of_int (Wf_obs.Metrics.count stats "store_appended_bytes")
+    /. float_of_int batch
+  in
+  Printf.printf "%-34s %12s\n" "journal append (in-memory only)" (pp_ns plain_ns);
+  Printf.printf "%-34s %12s  (%.1fx, %.0f bytes/entry)\n"
+    "journal append (framed + crc32)" (pp_ns framed_ns) (framed_ns /. plain_ns)
+    bytes_per_entry;
+  (* Salvage-scan latency: recover repairs in place and is idempotent,
+     so re-scanning the same clean image measures exactly the verify
+     pass over n frames. *)
+  let lengths = if smoke then [ 100; 1_000 ] else [ 100; 1_000; 10_000 ] in
+  let recover_rows =
+    List.map
+      (fun n ->
+        let sim = Wf_store.Media.Sim.create () in
+        let log = Wf_store.Log.create store_codec (Wf_store.Media.Sim.device sim) in
+        for i = 0 to n - 1 do
+          Wf_store.Log.append log (payload i);
+          if (i + 1) mod 64 = 0 then
+            Wf_store.Log.checkpoint log (string_of_int (i + 1))
+        done;
+        Wf_store.Log.sync log;
+        let t =
+          measure_ns (Printf.sprintf "store:recover-%d" n) (fun () ->
+              ignore
+                (Wf_store.Log.recover store_codec (Wf_store.Media.Sim.device sim)))
+        in
+        Printf.printf "salvage scan over %6d entries: %12s\n%!" n (pp_ns t);
+        (n, t))
+      lengths
+  in
+  (* Fault survival: 24 entries with checkpoints at 8 and 16, the final
+     third unsynced, one fault kind forced per crash.  A salvage is
+     valid when the kept entries are a consecutive prefix continuation
+     of the chosen checkpoint and a second scan of the repaired image
+     is clean. *)
+  let trials = if smoke then 50 else 200 in
+  let total = 24 in
+  let salvage_trial kind seed =
+    let faults =
+      let base = { Wf_store.Media.Sim.no_faults with max_faults = 1 } in
+      match kind with
+      | "torn_write" -> { base with Wf_store.Media.Sim.torn_write = 1.0 }
+      | "lost_tail" -> { base with Wf_store.Media.Sim.lost_tail = 1.0 }
+      | "bit_flip" -> { base with Wf_store.Media.Sim.bit_flip = 1.0 }
+      | _ -> { base with Wf_store.Media.Sim.ckpt_corrupt = 1.0 }
+    in
+    let stats = Wf_obs.Metrics.create () in
+    let sim = Wf_store.Media.Sim.create ~faults ~seed ~stats () in
+    let log = Wf_store.Log.create store_codec (Wf_store.Media.Sim.device sim) in
+    for i = 0 to total - 1 do
+      Wf_store.Log.append log (Printf.sprintf "e-%d" i);
+      if i = 7 || i = 15 then Wf_store.Log.checkpoint log (string_of_int (i + 1))
+    done;
+    Wf_store.Media.Sim.crash sim;
+    let _, (ckpt, suffix), r =
+      Wf_store.Log.recover store_codec (Wf_store.Media.Sim.device sim)
+    in
+    let start = match ckpt with None -> 0 | Some c -> int_of_string c in
+    let consecutive =
+      List.for_all2
+        (fun e i -> e = Printf.sprintf "e-%d" i)
+        suffix
+        (List.init (List.length suffix) (fun k -> start + k))
+    in
+    let _, _, r2 =
+      Wf_store.Log.recover store_codec (Wf_store.Media.Sim.device sim)
+    in
+    let valid =
+      consecutive
+      && start + List.length suffix <= total
+      && r2.Wf_store.Log.sr_stop = Wf_store.Log.Clean
+      && r2.Wf_store.Log.sr_total_entries = r.Wf_store.Log.sr_total_entries
+    in
+    let stat = if kind = "torn_write" then "torn" else kind in
+    let fired = Wf_obs.Metrics.count stats ("store_fault_" ^ stat) > 0 in
+    let fallback = r.Wf_store.Log.sr_ckpt = Wf_store.Log.Fallback in
+    (fired, fallback, float_of_int r.Wf_store.Log.sr_total_entries, valid)
+  in
+  Printf.printf "%-14s %7s %7s %10s %10s %7s\n" "fault" "trials" "fired"
+    "fallbacks" "kept" "valid";
+  let salvage_rows =
+    List.map
+      (fun kind ->
+        let fired = ref 0 and fallbacks = ref 0 in
+        let kept = ref 0.0 and valid = ref true in
+        for i = 1 to trials do
+          let f, fb, k, v = salvage_trial kind (Int64.of_int (7919 * i)) in
+          if f then incr fired;
+          if fb then incr fallbacks;
+          kept := !kept +. k;
+          valid := !valid && v
+        done;
+        let row =
+          {
+            v_fault = kind;
+            v_trials = trials;
+            v_fired = !fired;
+            v_fallbacks = !fallbacks;
+            v_kept = !kept /. float_of_int (trials * total);
+            v_valid = !valid;
+          }
+        in
+        Printf.printf "%-14s %7d %7d %10d %9.1f%% %7s\n%!" kind trials !fired
+          !fallbacks (100.0 *. row.v_kept)
+          (if row.v_valid then "yes" else "NO");
+        row)
+      [ "torn_write"; "lost_tail"; "bit_flip"; "ckpt_corrupt" ]
+  in
+  {
+    s_plain_ns = plain_ns;
+    s_framed_ns = framed_ns;
+    s_bytes_per_entry = bytes_per_entry;
+    s_recover = recover_rows;
+    s_salvage = salvage_rows;
+  }
+
+let write_store_json path ~smoke r =
+  let oc = open_out path in
+  let salvage_json v =
+    Printf.sprintf
+      "{\"fault\": \"%s\", \"trials\": %d, \"fired\": %d, \"fallbacks\": %d, \
+       \"mean_kept_fraction\": %.3f, \"all_valid\": %b}"
+      v.v_fault v.v_trials v.v_fired v.v_fallbacks v.v_kept v.v_valid
+  in
+  let recover_json (n, t) =
+    Printf.sprintf "{\"entries\": %d, \"scan_ns\": %.0f}" n t
+  in
+  Printf.fprintf oc "{\n  \"suite\": \"store\",\n  \"mode\": \"%s\",\n"
+    (if smoke then "smoke" else "full");
+  Printf.fprintf oc "  \"all_valid\": %b,\n"
+    (List.for_all (fun v -> v.v_valid) r.s_salvage);
+  Printf.fprintf oc
+    "  \"append\": {\"plain_ns\": %.1f, \"framed_ns\": %.1f, \"overhead\": \
+     %.2f, \"bytes_per_entry\": %.1f},\n"
+    r.s_plain_ns r.s_framed_ns
+    (r.s_framed_ns /. r.s_plain_ns)
+    r.s_bytes_per_entry;
+  Printf.fprintf oc "  \"recovery\": [\n    %s\n  ],\n"
+    (String.concat ",\n    " (List.map recover_json r.s_recover));
+  Printf.fprintf oc "  \"salvage\": [\n    %s\n  ]\n}\n"
+    (String.concat ",\n    " (List.map salvage_json r.s_salvage));
+  close_out oc
+
 (* --- E13/E14: parametrized scheduling --------------------------------------- *)
 
 let bench_param () =
@@ -1086,6 +1296,7 @@ let () =
   let scaling_only = List.mem "--scaling" args in
   let crash_only = List.mem "--crash" args in
   let check_only = List.mem "--check" args in
+  let store_only = List.mem "--store" args in
   let json_path =
     let rec find = function
       | "--json" :: next :: _ when String.length next > 0 && next.[0] <> '-' ->
@@ -1099,7 +1310,16 @@ let () =
   Printf.printf
     "Reproduction benches: Singh, \"Synthesizing Distributed Constrained \
      Events from Transactional Workflow Specifications\" (ICDE 1996)\n";
-  if check_only then begin
+  if store_only then begin
+    let r = bench_store ~smoke () in
+    match json_path with
+    | Some path ->
+        let path = if path = "BENCH_CORE.json" then "BENCH_STORE.json" else path in
+        write_store_json path ~smoke r;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  end
+  else if check_only then begin
     let rows = bench_check ~smoke () in
     match json_path with
     | Some path ->

@@ -60,8 +60,8 @@ let load path =
   end;
   def
 
-let run path crash_depth max_states naive no_gtable classes verbose json_file
-    cex_file replay_file =
+let run path crash_depth torn_writes max_states naive no_gtable classes
+    verbose json_file cex_file replay_file =
   Gtable.set_enabled (not no_gtable);
   let path =
     match path with
@@ -104,7 +104,7 @@ let run path crash_depth max_states naive no_gtable classes verbose json_file
   | None ->
       let r =
         try
-          Mc.check ~crash_depth ~max_states ~dpor:(not naive)
+          Mc.check ~crash_depth ~torn_writes ~max_states ~dpor:(not naive)
             ~spec_name:(Filename.basename path) def
         with Invalid_argument msg ->
           prerr_endline ("wfmc: " ^ msg);
@@ -136,6 +136,10 @@ let path = Arg.(value & pos 0 (some file) None & info [] ~docv:"SPEC.wf")
 let crash_depth =
   Arg.(value & opt int 0 & info [ "crash-depth" ] ~docv:"N"
          ~doc:"Explore up to $(docv) atomic crash-and-recover transitions per interleaving (default 0: no crashes).")
+
+let torn_writes =
+  Arg.(value & flag & info [ "torn-writes" ]
+         ~doc:"At every crash placement also explore a torn-write crash: the site's journals are re-serialized to simulated storage, an in-flight frame is torn mid-write, and the salvage scan must rebuild exactly the journal-recovery state (requires $(b,--crash-depth) > 0; shares its budget).")
 
 let max_states =
   Arg.(value & opt int 500_000 & info [ "max-states" ] ~docv:"N"
@@ -174,7 +178,8 @@ let cmd =
      interleavings"
   in
   Cmd.v (Cmd.info "wfmc" ~doc)
-    Term.(const run $ path $ crash_depth $ max_states $ naive $ no_gtable
-          $ classes $ verbose $ json_file $ cex_file $ replay_file)
+    Term.(const run $ path $ crash_depth $ torn_writes $ max_states $ naive
+          $ no_gtable $ classes $ verbose $ json_file $ cex_file
+          $ replay_file)
 
 let () = Cmd.eval cmd |> exit

@@ -100,7 +100,8 @@ let validate_trace path =
 let run path scheduler seed latency jitter think verbose check_gen no_gtable
     drop_rate duplicate_rate reorder_rate reorder_window partition_specs
     crash_prob crash_on_send restart_delay max_crashes checkpoint_every
-    trace_file chrome_file metrics_json validate =
+    store store_torn store_lost_tail store_bit_flip store_ckpt_corrupt
+    store_max_faults trace_file chrome_file metrics_json validate =
   Gtable.set_enabled (not no_gtable);
   match validate with
   | Some trace_path -> exit (validate_trace trace_path)
@@ -141,6 +142,21 @@ let run path scheduler seed latency jitter think verbose check_gen no_gtable
       max_crashes;
     }
   in
+  let store =
+    if
+      store || store_torn > 0.0 || store_lost_tail > 0.0
+      || store_bit_flip > 0.0 || store_ckpt_corrupt > 0.0
+    then
+      Some
+        {
+          Wf_store.Media.Sim.torn_write = store_torn;
+          lost_tail = store_lost_tail;
+          bit_flip = store_bit_flip;
+          ckpt_corrupt = store_ckpt_corrupt;
+          max_faults = store_max_faults;
+        }
+    else None
+  in
   let r =
     match scheduler with
     | "distributed" ->
@@ -155,6 +171,7 @@ let run path scheduler seed latency jitter think verbose check_gen no_gtable
               check_generates = check_gen;
               checkpoint_every;
               faults;
+              store;
               tracer;
             }
           def
@@ -169,6 +186,7 @@ let run path scheduler seed latency jitter think verbose check_gen no_gtable
               think_time = think;
               checkpoint_every;
               faults;
+              store;
               tracer;
             }
           def
@@ -247,6 +265,30 @@ let checkpoint_every =
   Arg.(value & opt int 32 & info [ "checkpoint-every" ] ~docv:"N"
          ~doc:"Journal appends between state checkpoints: smaller means shorter replays after a crash, larger means cheaper appends.")
 
+let store =
+  Arg.(value & flag & info [ "store" ]
+         ~doc:"Back every actor journal with a checksummed framed log over simulated storage (fault-free unless $(b,--store-*) rates are set). Recovery then rebuilds actors from the log's salvage scan instead of the in-memory journal.")
+
+let store_torn =
+  Arg.(value & opt float 0.0 & info [ "store-torn" ] ~docv:"P"
+         ~doc:"Probability (per crash, per journal) that the final unsynced frame is torn mid-write. Implies $(b,--store).")
+
+let store_lost_tail =
+  Arg.(value & opt float 0.0 & info [ "store-lost-tail" ] ~docv:"P"
+         ~doc:"Probability that the whole unsynced tail is lost in a crash. Implies $(b,--store).")
+
+let store_bit_flip =
+  Arg.(value & opt float 0.0 & info [ "store-bit-flip" ] ~docv:"P"
+         ~doc:"Probability that one random bit of the log image flips in a crash (caught by the frame CRC). Implies $(b,--store).")
+
+let store_ckpt_corrupt =
+  Arg.(value & opt float 0.0 & info [ "store-ckpt-corrupt" ] ~docv:"P"
+         ~doc:"Probability that the newest checkpoint frame is corrupted or truncated in a crash, forcing recovery to fall back to an older checkpoint. Implies $(b,--store).")
+
+let store_max_faults =
+  Arg.(value & opt int 2 & info [ "store-max-faults" ] ~docv:"N"
+         ~doc:"Lifetime storage-fault budget per journal medium (default 2).")
+
 let trace_file =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Write the structured trace (send/deliver/drop/crash, channel retransmits/acks/epochs, guard-assimilation outcomes) as JSONL, one record per line.")
@@ -266,6 +308,12 @@ let validate =
 let cmd =
   let doc = "execute a workflow by distributed guard evaluation" in
   Cmd.v (Cmd.info "wfsim" ~doc)
-    Term.(const run $ path $ scheduler $ seed $ latency $ jitter $ think $ verbose $ check_gen $ no_gtable $ drop_rate $ duplicate_rate $ reorder_rate $ reorder_window $ partitions $ crash_prob $ crash_on_send $ restart_delay $ max_crashes $ checkpoint_every $ trace_file $ chrome_file $ metrics_json $ validate)
+    Term.(const run $ path $ scheduler $ seed $ latency $ jitter $ think
+          $ verbose $ check_gen $ no_gtable $ drop_rate $ duplicate_rate
+          $ reorder_rate $ reorder_window $ partitions $ crash_prob
+          $ crash_on_send $ restart_delay $ max_crashes $ checkpoint_every
+          $ store $ store_torn $ store_lost_tail $ store_bit_flip
+          $ store_ckpt_corrupt $ store_max_faults $ trace_file $ chrome_file
+          $ metrics_json $ validate)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,9 +5,17 @@ module Messages = Wf_scheduler.Messages
 module Trace_obs = Wf_obs.Trace
 
 module Tkey = struct
-  type t = Attempt of string | Deliver of Symbol.t * Symbol.t | Crash of int
+  type t =
+    | Attempt of string
+    | Deliver of Symbol.t * Symbol.t
+    | Crash of int
+    | Torn of int
 
-  let rank = function Attempt _ -> 0 | Deliver _ -> 1 | Crash _ -> 2
+  let rank = function
+    | Attempt _ -> 0
+    | Deliver _ -> 1
+    | Crash _ -> 2
+    | Torn _ -> 3
 
   let compare a b =
     match (a, b) with
@@ -16,12 +24,14 @@ module Tkey = struct
         let c = Symbol.compare a1 a2 in
         if c <> 0 then c else Symbol.compare b1 b2
     | Crash s1, Crash s2 -> Int.compare s1 s2
+    | Torn s1, Torn s2 -> Int.compare s1 s2
     | _ -> Int.compare (rank a) (rank b)
 
   let to_string = function
     | Attempt i -> "attempt:" ^ i
     | Deliver (a, b) -> "deliver:" ^ Symbol.name a ^ ">" ^ Symbol.name b
     | Crash s -> "crash:" ^ string_of_int s
+    | Torn s -> "torn:" ^ string_of_int s
 
   module Set = Set.Make (struct
     type nonrec t = t
@@ -193,7 +203,7 @@ let footprint cl t key =
         | None -> IntSet.empty
       in
       IntSet.union base payload
-  | Tkey.Crash site ->
+  | Tkey.Crash site | Tkey.Torn site ->
       Option.value (Hashtbl.find_opt cl.by_site site) ~default:IntSet.empty
 
 (* {2 The DFS} *)
@@ -206,6 +216,7 @@ type state = {
   denots : (Expr.t * Trace.t list Lazy.t) list;
   dpor : bool;
   crash_depth : int;
+  torn_writes : bool;
   max_states : int;
   visited : (int, Tkey.Set.t list ref) Hashtbl.t;
   seen_traces : (int, unit) Hashtbl.t;
@@ -223,10 +234,30 @@ exception Bounded
 
 let max_divergences = 16
 
-let execute t = function
-  | Tkey.Attempt i -> Step.do_attempt t i
-  | Tkey.Deliver (a, b) -> Step.do_deliver t (a, b)
-  | Tkey.Crash s -> Step.do_crash t s
+(* A torn crash whose salvage diverges is recorded immediately — the
+   defect is in the storage layer, not in the closed trace, so it must
+   not wait for (or depend on) the terminal-state oracle. *)
+let store_divergence st site schedule =
+  if List.length st.divergences < max_divergences then
+    st.divergences <-
+      {
+        d_kind = "store";
+        d_detail =
+          Fmt.str
+            "torn-write salvage diverged from journal recovery at site %d"
+            site;
+        d_schedule = schedule;
+        d_trace = Step.trace st.sched;
+      }
+      :: st.divergences
+
+let execute st key schedule =
+  match key with
+  | Tkey.Attempt i -> Step.do_attempt st.sched i
+  | Tkey.Deliver (a, b) -> Step.do_deliver st.sched (a, b)
+  | Tkey.Crash s -> Step.do_crash st.sched s
+  | Tkey.Torn s ->
+      if not (Step.do_crash_torn st.sched s) then store_divergence st s schedule
 
 let trace_fp tr =
   let module F = Fingerprint in
@@ -315,8 +346,12 @@ let enabled_transitions st =
     List.map (fun (a, b) -> Tkey.Deliver (a, b)) (Step.nonempty_queues t)
   in
   let crashes =
-    if Step.crashes_used t < st.crash_depth then
-      List.init (Step.num_sites t) (fun s -> Tkey.Crash s)
+    if Step.crashes_used t < st.crash_depth then begin
+      let plain = List.init (Step.num_sites t) (fun s -> Tkey.Crash s) in
+      if st.torn_writes then
+        plain @ List.init (Step.num_sites t) (fun s -> Tkey.Torn s)
+      else plain
+    end
     else []
   in
   (attempts, delivers, crashes)
@@ -360,7 +395,7 @@ let rec explore st depth sleep schedule =
                   !sleep
               else Tkey.Set.empty
             in
-            execute st.sched key;
+            execute st key (List.rev (key :: schedule));
             st.transitions <- st.transitions + 1;
             explore st (depth + 1) child_sleep (key :: schedule);
             Step.restore st.sched snap;
@@ -370,8 +405,8 @@ let rec explore st depth sleep schedule =
     end
   end
 
-let check ?(crash_depth = 0) ?(max_states = 500_000) ?(dpor = true)
-    ?(guard_overrides = []) ?spec_name wf =
+let check ?(crash_depth = 0) ?(torn_writes = false) ?(max_states = 500_000)
+    ?(dpor = true) ?(guard_overrides = []) ?spec_name wf =
   List.iter
     (fun (task : Workflow_def.task) ->
       if task.parametrize then
@@ -397,6 +432,7 @@ let check ?(crash_depth = 0) ?(max_states = 500_000) ?(dpor = true)
           deps;
       dpor;
       crash_depth;
+      torn_writes;
       max_states;
       visited = Hashtbl.create 4096;
       seen_traces = Hashtbl.create 256;
@@ -456,7 +492,9 @@ let records_of_schedule wf schedule =
           Trace_obs.make ~time ~site:dsite
             ~actor:(Symbol.name src ^ ">" ^ Symbol.name dst)
             (Trace_obs.Deliver { src = ssite; dst = dsite })
-      | Tkey.Crash site -> Trace_obs.make ~time ~site Trace_obs.Crash)
+      | Tkey.Crash site -> Trace_obs.make ~time ~site Trace_obs.Crash
+      | Tkey.Torn site ->
+          Trace_obs.make ~time ~site ~actor:"torn" Trace_obs.Crash)
     schedule
 
 let write_counterexample wf div path =
@@ -502,6 +540,8 @@ let load_schedule path =
                                  "line %d: deliver record without a \
                                   sender>receiver actor"
                                  lineno))
+                    | Trace_obs.Crash when r.Trace_obs.actor = "torn" ->
+                        loop (lineno + 1) (Tkey.Torn r.Trace_obs.site :: acc)
                     | Trace_obs.Crash ->
                         loop (lineno + 1) (Tkey.Crash r.Trace_obs.site :: acc)
                     | Trace_obs.Restart -> loop (lineno + 1) acc
@@ -531,6 +571,7 @@ let replay ?(guard_overrides = []) wf schedule =
           deps;
       dpor = false;
       crash_depth = 0;
+      torn_writes = true;
       max_states = max_int;
       visited = Hashtbl.create 1;
       seen_traces = Hashtbl.create 1;
@@ -552,13 +593,13 @@ let replay ?(guard_overrides = []) wf schedule =
           | Tkey.Attempt instance ->
               List.mem instance (Step.enabled_attempts sched)
           | Tkey.Deliver (a, b) -> Step.queue_head sched (a, b) <> None
-          | Tkey.Crash s -> s >= 0 && s < Step.num_sites sched
+          | Tkey.Crash s | Tkey.Torn s -> s >= 0 && s < Step.num_sites sched
         in
         if not enabled then
           Error
             (Fmt.str "step %d: %s is not enabled" i (Tkey.to_string key))
         else
-          match execute sched key with
+          match execute st key (List.filteri (fun j _ -> j <= i) schedule) with
           | () -> apply (i + 1) rest
           | exception exn ->
               Error (Fmt.str "step %d: %s" i (Printexc.to_string exn)))
@@ -567,4 +608,6 @@ let replay ?(guard_overrides = []) wf schedule =
   | Error _ as e -> e
   | Ok () ->
       Step.run_closing sched;
-      Ok (closed_divergences st schedule, Step.trace sched)
+      Ok
+        ( List.rev st.divergences @ closed_divergences st schedule,
+          Step.trace sched )

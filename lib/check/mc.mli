@@ -42,6 +42,9 @@ module Tkey : sig
     | Attempt of string  (** the instance's agent attempts its next event *)
     | Deliver of Symbol.t * Symbol.t  (** head message, sender → receiver *)
     | Crash of int  (** atomic crash-and-recover of the site *)
+    | Torn of int
+        (** crash-and-recover with a torn-write probe on the site's
+            journals ({!Wf_scheduler.Step_sched.do_crash_torn}) *)
 
   val compare : t -> t -> int
   val to_string : t -> string
@@ -52,7 +55,9 @@ end
 type divergence = {
   d_kind : string;
       (** ["ill-formed"], ["not-maximal"], ["violation"], ["generates"],
-          ["denotation"], ["forced"], or ["uncontrollable"] *)
+          ["denotation"], ["forced"], ["uncontrollable"], or ["store"]
+          (a torn-write placement whose salvage diverged from journal
+          recovery) *)
   d_detail : string;
   d_schedule : Tkey.t list;  (** the interleaving that exposed it *)
   d_trace : Literal.t list;  (** the closed trace it realized *)
@@ -83,6 +88,7 @@ type report = {
 
 val check :
   ?crash_depth:int ->
+  ?torn_writes:bool ->
   ?max_states:int ->
   ?dpor:bool ->
   ?guard_overrides:(Literal.t * Guard.t) list ->
@@ -91,6 +97,11 @@ val check :
   report
 (** Exhaustively explore the workflow.  [crash_depth] (default 0)
     bounds the number of crash transitions per interleaving;
+    [torn_writes] (default false) additionally places torn-write
+    crashes ({!Tkey.Torn}) at every point a plain crash is placed,
+    sharing the [crash_depth] budget — each probes that a frame torn
+    mid-write salvages back to exactly the journal-recovery state,
+    reporting a ["store"] divergence otherwise;
     [max_states] (default 500_000) bounds the exploration; [dpor]
     (default true) enables the reduction; [guard_overrides] plants
     wrong guards (via {!Wf_scheduler.Step_sched.build}) so tests can
@@ -103,7 +114,8 @@ val check :
     A divergence's schedule is exported as {!Wf_obs.Trace} JSONL —
     attempts as [send] records (actor = the instance), deliveries as
     [deliver] records (actor = ["sender>receiver"]), crashes as [crash]
-    records — so counterexamples flow through the same tooling as
+    records (torn-write crashes carry actor ["torn"]) — so
+    counterexamples flow through the same tooling as
     simulator traces ({!Wf_obs.Trace.validate_file} accepts them) and
     stay loadable as the schema evolves. *)
 

@@ -13,6 +13,8 @@ type kind =
   | Ack of { dst : int }
   | Epoch_bump
   | Assim of { outcome : outcome; guard : int }
+  | Store_fault of { fault : string }
+  | Store_salvage of { kept : int; dropped : int; fallback : bool }
 
 type record = {
   time : float;
@@ -53,6 +55,8 @@ let kind_name r =
   | Ack _ -> "ack"
   | Epoch_bump -> "epoch_bump"
   | Assim _ -> "assim"
+  | Store_fault _ -> "store_fault"
+  | Store_salvage _ -> "store_salvage"
 
 let reason_name = function
   | Link -> "link"
@@ -100,7 +104,12 @@ let line_of r =
   | Give_up { dst } | Ack { dst } -> field "\"dst\"" (string_of_int dst)
   | Assim { outcome; guard } ->
       field "\"outcome\"" (Json.quote (outcome_name outcome));
-      field "\"guard\"" (string_of_int guard));
+      field "\"guard\"" (string_of_int guard)
+  | Store_fault { fault } -> field "\"fault\"" (Json.quote fault)
+  | Store_salvage { kept; dropped; fallback } ->
+      field "\"kept\"" (string_of_int kept);
+      field "\"dropped\"" (string_of_int dropped);
+      field "\"fallback\"" (if fallback then "true" else "false"));
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -116,6 +125,7 @@ let chrome_category r =
   | Send _ | Deliver _ | Drop _ | Crash | Restart -> "netsim"
   | Retransmit _ | Give_up _ | Ack _ | Epoch_bump -> "channel"
   | Assim _ -> "sched"
+  | Store_fault _ | Store_salvage _ -> "store"
 
 let write_chrome oc records =
   output_string oc "{\"traceEvents\":[";
@@ -126,6 +136,7 @@ let write_chrome oc records =
         match r.kind with
         | Assim { outcome; _ } -> "assim:" ^ outcome_name outcome
         | Drop { reason; _ } -> "drop:" ^ reason_name reason
+        | Store_fault { fault } -> "store_fault:" ^ fault
         | _ -> kind_name r
       in
       let args =
@@ -149,6 +160,13 @@ let write_chrome oc records =
               [ kv "dst" (string_of_int dst); kv "tries" (string_of_int tries) ]
           | Give_up { dst } | Ack { dst } -> [ kv "dst" (string_of_int dst) ]
           | Assim { guard; _ } -> [ kv "guard" (string_of_int guard) ]
+          | Store_fault { fault } -> [ kv "fault" (Json.quote fault) ]
+          | Store_salvage { kept; dropped; fallback } ->
+              [
+                kv "kept" (string_of_int kept);
+                kv "dropped" (string_of_int dropped);
+                kv "fallback" (if fallback then "true" else "false");
+              ]
           | Crash | Restart | Epoch_bump -> []
         in
         String.concat "," (base @ extra)
@@ -266,6 +284,19 @@ let parse_line line =
             let* guard = int_field "guard" in
             if actor = "" then Error "assim record without \"actor\""
             else Ok (Assim { outcome; guard })
+        | "store_fault" ->
+            let* fault = str_field "fault" in
+            let* () =
+              match fault with
+              | "torn" | "lost_tail" | "bit_flip" | "ckpt_corrupt" -> Ok ()
+              | s -> Error (Printf.sprintf "unknown store fault %S" s)
+            in
+            Ok (Store_fault { fault })
+        | "store_salvage" ->
+            let* kept = int_field "kept" in
+            let* dropped = int_field "dropped" in
+            let* fallback = bool_field "fallback" in
+            Ok (Store_salvage { kept; dropped; fallback })
         | s -> Error (Printf.sprintf "unknown kind %S" s)
       in
       Ok { time; site; actor; epoch; mid; kind })

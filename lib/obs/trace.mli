@@ -42,6 +42,15 @@ type kind =
   | Ack of { dst : int }
   | Epoch_bump  (** new epoch in the record's [epoch] field *)
   | Assim of { outcome : outcome; guard : int }
+  | Store_fault of { fault : string }
+      (** Seeded storage fault injected by [Wf_store.Media.Sim] at crash
+          time; [fault] is one of ["torn"], ["lost_tail"], ["bit_flip"],
+          ["ckpt_corrupt"]. *)
+  | Store_salvage of { kept : int; dropped : int; fallback : bool }
+      (** A durable journal was scanned on recovery: [kept] frames
+          verified, [dropped] bytes discarded past the verifiable
+          prefix, [fallback] true when the latest checkpoint was
+          unusable and recovery fell back to an earlier one. *)
 
 type record = {
   time : float;
@@ -73,7 +82,8 @@ val streaming : (record -> unit) -> sink
 val kind_name : record -> string
 (** The wire name of the record's kind: ["send"], ["deliver"],
     ["drop"], ["crash"], ["restart"], ["retransmit"], ["give_up"],
-    ["ack"], ["epoch_bump"], ["assim"]. *)
+    ["ack"], ["epoch_bump"], ["assim"], ["store_fault"],
+    ["store_salvage"]. *)
 
 val outcome_name : outcome -> string
 

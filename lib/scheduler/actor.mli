@@ -142,3 +142,10 @@ val watched_symbols : t -> Symbol.Set.t
 (** Symbols (other than the actor's own) whose actors this one
     observes: everything mentioned by its guards or parked attempts.
     The recovery handshake sends {!Messages.Recovered} to these. *)
+
+val codec : (input, snapshot) Wf_store.Log.codec
+(** Binary codec for the actor's durable journal: inputs as entries,
+    snapshots as checkpoints.  Decoding goes through the public
+    constructors (see {!Wire}), so a decoded snapshot restores into a
+    fresh actor byte-for-byte equivalently to the original
+    ({!equal_state} holds after replay). *)

@@ -9,6 +9,7 @@ type config = {
   max_steps : int;
   checkpoint_every : int;
   faults : Wf_sim.Netsim.fault_config;
+  store : Wf_store.Media.Sim.fault_config option;
   tracer : Wf_obs.Trace.sink option;
 }
 
@@ -21,6 +22,7 @@ let default_config =
     max_steps = 2_000_000;
     checkpoint_every = 32;
     faults = Wf_sim.Netsim.no_faults;
+    store = None;
     tracer = None;
   }
 
@@ -64,13 +66,75 @@ type c_snapshot = {
   cs_decided : Symbol.t list;
 }
 
+(* Binary codec for the center's durable journal (threaded through
+   recovery whenever [config.store] backs the journal with simulated
+   storage). *)
+module B = Wf_store.Binio
+
+let put_c_input buf = function
+  | C_attempt (lit, entailed) ->
+      B.put_uint buf 0;
+      Wire.put_literal buf lit;
+      B.put_list Wire.put_literal buf entailed
+  | C_occurred lit ->
+      B.put_uint buf 1;
+      Wire.put_literal buf lit
+  | C_reject lit ->
+      B.put_uint buf 2;
+      Wire.put_literal buf lit
+
+let get_c_input r =
+  match B.get_uint r with
+  | 0 ->
+      let lit = Wire.get_literal r in
+      let entailed = B.get_list Wire.get_literal r in
+      C_attempt (lit, entailed)
+  | 1 -> C_occurred (Wire.get_literal r)
+  | 2 -> C_reject (Wire.get_literal r)
+  | n -> raise (B.Corrupt (Printf.sprintf "unknown center input tag %d" n))
+
+let put_c_snapshot buf s =
+  B.put_list B.put_int buf s.cs_states;
+  B.put_list
+    (fun buf (lit, entailed) ->
+      Wire.put_literal buf lit;
+      B.put_list Wire.put_literal buf entailed)
+    buf s.cs_parked;
+  Wire.put_literal_set buf s.cs_triggered;
+  B.put_list Wire.put_symbol buf s.cs_decided
+
+let get_c_snapshot r =
+  let cs_states = B.get_list B.get_int r in
+  let cs_parked =
+    B.get_list
+      (fun r ->
+        let lit = Wire.get_literal r in
+        let entailed = B.get_list Wire.get_literal r in
+        (lit, entailed))
+      r
+  in
+  let cs_triggered = Wire.get_literal_set r in
+  let cs_decided = B.get_list Wire.get_symbol r in
+  { cs_states; cs_parked; cs_triggered; cs_decided }
+
+let c_codec : (c_input, c_snapshot) Wf_store.Log.codec =
+  {
+    enc_entry = B.encode put_c_input;
+    dec_entry = B.decode get_c_input;
+    enc_ckpt = B.encode put_c_snapshot;
+    dec_ckpt = B.decode get_c_snapshot;
+  }
+
 type runtime = {
   wf : Workflow_def.t;
   cfg : config;
   net : msg Channel.wire Wf_sim.Netsim.t;
   chan : msg Channel.t;
   deps : dep_state list;
-  journal : (c_input, c_snapshot) Wf_store.Journal.t;
+  mutable journal : (c_input, c_snapshot) Wf_store.Journal.t;
+  media : Wf_store.Media.Sim.sim option;
+      (* simulated storage under the center's journal; [None] = the
+         pre-store perfectly durable in-memory journal *)
   agents : (string, Agent.t) Hashtbl.t;
   agent_site : (string, int) Hashtbl.t;
   agent_of_symbol : (Symbol.t, string) Hashtbl.t;
@@ -317,11 +381,48 @@ let snapshot_center rt =
    internal), so the post-apply state is always a transition boundary. *)
 let deliver_center rt input =
   Wf_store.Journal.append rt.journal input;
+  (* The center models synchronous durable commits (its occurrence log
+     is "durable by assumption"), so every append is synced — a crash
+     can corrupt its storage (bit flips, checkpoint damage) but never
+     lose a committed tail. *)
+  Wf_store.Journal.sync rt.journal;
   apply_center rt input;
   if Wf_store.Journal.wants_checkpoint rt.journal then
     Wf_store.Journal.checkpoint rt.journal (snapshot_center rt)
 
 let recover_center rt =
+  (match rt.media with
+  | None -> ()
+  | Some m ->
+      let before = Wf_store.Journal.total_appended rt.journal in
+      Wf_store.Media.Sim.crash m;
+      let j', report =
+        Wf_store.Journal.reload ~checkpoint_every:rt.cfg.checkpoint_every
+          c_codec
+          (Wf_store.Media.Sim.device m)
+      in
+      rt.journal <- j';
+      let open Wf_store.Log in
+      let fallback = report.sr_ckpt = Fallback in
+      Wf_obs.Metrics.incr (stats rt) "store_salvages";
+      Wf_obs.Metrics.add (stats rt) "store_dropped_entries"
+        (before - report.sr_total_entries);
+      Wf_obs.Metrics.add (stats rt) "store_dropped_bytes"
+        report.sr_dropped_bytes;
+      if fallback then Wf_obs.Metrics.incr (stats rt) "store_ckpt_fallbacks";
+      match rt.cfg.tracer with
+      | None -> ()
+      | Some sink ->
+          Wf_obs.Trace.emit sink
+            (Wf_obs.Trace.make
+               ~time:(Wf_sim.Netsim.now rt.net)
+               ~site:central_site
+               (Wf_obs.Trace.Store_salvage
+                  {
+                    kept = report.sr_frames;
+                    dropped = report.sr_dropped_bytes;
+                    fallback;
+                  })));
   rt.replaying <- true;
   List.iter (fun ds -> ds.state <- 0) rt.deps;
   rt.parked <- [];
@@ -410,12 +511,32 @@ let run ?(config = default_config) wf =
       ~rto:(3.0 *. (config.base_latency +. config.jitter) +. 0.5)
       net
   in
+  let media =
+    match config.store with
+    | None -> None
+    | Some faults ->
+        Some
+          (Wf_store.Media.Sim.create ~faults
+             ~seed:(Int64.logxor config.seed 0x53544F52L)
+             ~stats:(Wf_sim.Netsim.stats net) ?tracer:config.tracer
+             ~clock:(fun () -> Wf_sim.Netsim.now net)
+             ~site:central_site ~actor:"center" ())
+  in
+  let journal =
+    Wf_store.Journal.create ~checkpoint_every:config.checkpoint_every ()
+  in
+  (match media with
+  | None -> ()
+  | Some m ->
+      Wf_store.Journal.attach journal
+        (Wf_store.Log.create c_codec (Wf_store.Media.Sim.device m)));
   let rt =
     {
       wf;
       cfg = config;
       net;
       chan;
+      media;
       deps =
         List.map
           (fun d ->
@@ -427,8 +548,7 @@ let run ?(config = default_config) wf =
               feas = Hashtbl.create 64;
             })
           deps_exprs;
-      journal =
-        Wf_store.Journal.create ~checkpoint_every:config.checkpoint_every ();
+      journal;
       agents = Hashtbl.create 16;
       agent_site = Hashtbl.create 16;
       agent_of_symbol = Hashtbl.create 64;

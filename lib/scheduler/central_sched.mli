@@ -32,6 +32,15 @@ type config = {
           model durable transactional tasks: they keep their state
           across a site crash, and deliveries they missed are
           retransmitted. *)
+  store : Wf_store.Media.Sim.fault_config option;
+      (** simulated storage under the center's journal (default [None]
+          = perfectly durable in-memory journal).  The center models
+          synchronous commits, so every journal append is synced —
+          torn/lost-tail faults cannot fire, but bit flips and
+          checkpoint corruption can, and recovery then rebuilds the
+          volatile state from the salvage scan's verified prefix,
+          reporting what was dropped in the [store_*] counters and
+          [Store_salvage] trace records. *)
   tracer : Wf_obs.Trace.sink option;
       (** structured trace sink (default [None]); the center emits
           [Assim] records for accept/park/reject decisions with a

@@ -29,6 +29,10 @@ type 'a t = {
   backoff : float;
   max_rto : float;
   max_retries : int;
+  retransmit_jitter : float;
+  rng : Wf_sim.Rng.t;
+      (* the channel's own stream (split off the network's at creation)
+         so jitter draws do not perturb latency/fault randomness *)
   pending : (key, 'a pending) Hashtbl.t; (* durable sender outbox *)
   seen : (key, unit) Hashtbl.t; (* durable receiver-side dedup *)
   dead : (key, 'a pending) Hashtbl.t; (* gave up; revived on peer Hello *)
@@ -52,8 +56,17 @@ let unacked t = Hashtbl.length t.pending
 let dead_letters t = Hashtbl.length t.dead
 let epoch t site = t.epochs.(site)
 
+(* Exponential backoff with deterministic jitter: the base delay is
+   scaled by a factor uniform in [1-j, 1+j] drawn from the channel's
+   own stream.  Without it, every sender that lost traffic to the same
+   partition retransmits on the same schedule forever — a synchronized
+   retransmit storm each time the partition heals. *)
 let rto_after t tries =
-  Float.min t.max_rto (t.rto *. (t.backoff ** float_of_int tries))
+  let base = Float.min t.max_rto (t.rto *. (t.backoff ** float_of_int tries)) in
+  if t.retransmit_jitter <= 0.0 then base
+  else
+    let u = Wf_sim.Rng.float t.rng 1.0 in
+    base *. (1.0 +. (t.retransmit_jitter *. ((2.0 *. u) -. 1.0)))
 
 let key_of p : key = (p.p_src, p.p_epoch, p.p_mid)
 
@@ -145,8 +158,10 @@ let note_peer_epoch t ~observer ~origin epoch =
     revive_dead_to t ~observer ~origin
   end
 
+let default_retransmit_jitter = 0.1
+
 let create ?(rto = 3.0) ?(backoff = default_backoff) ?(max_rto = 60.0)
-    ?(max_retries = 30) net =
+    ?(max_retries = 30) ?(retransmit_jitter = default_retransmit_jitter) net =
   let n = Wf_sim.Netsim.num_sites net in
   let local_reliable =
     let fc = Wf_sim.Netsim.fault_config net in
@@ -160,6 +175,8 @@ let create ?(rto = 3.0) ?(backoff = default_backoff) ?(max_rto = 60.0)
       backoff;
       max_rto;
       max_retries;
+      retransmit_jitter;
+      rng = Wf_sim.Rng.split (Wf_sim.Netsim.rng net);
       pending = Hashtbl.create 256;
       seen = Hashtbl.create 256;
       dead = Hashtbl.create 16;

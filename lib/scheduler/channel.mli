@@ -71,10 +71,17 @@ val create :
   ?backoff:float ->
   ?max_rto:float ->
   ?max_retries:int ->
+  ?retransmit_jitter:float ->
   'a wire Wf_sim.Netsim.t ->
   'a t
 (** One channel manager serves every site of the given network.
     [rto] is the initial retransmission timeout (default 3.0).
+    [retransmit_jitter] (default 0.1) scales each retransmission delay
+    by a factor uniform in [1-j, 1+j], drawn deterministically from the
+    channel's own RNG stream (split off the network's at creation) —
+    senders that queued traffic behind the same partition desynchronize
+    instead of retransmitting in lockstep storms when it heals; [0.0]
+    restores exact exponential backoff.
     Registers a {!Wf_sim.Netsim.on_restart} hook that runs the epoch
     handshake; create the channel {e before} any layer whose restart
     hook relies on fresh epochs. *)

@@ -10,6 +10,7 @@ type config = {
   check_generates : bool;
   checkpoint_every : int;
   faults : Wf_sim.Netsim.fault_config;
+  store : Wf_store.Media.Sim.fault_config option;
   on_event : occurrence -> unit;
   tracer : Wf_obs.Trace.sink option;
 }
@@ -26,6 +27,7 @@ let default_config =
     check_generates = false;
     checkpoint_every = 32;
     faults = Wf_sim.Netsim.no_faults;
+    store = None;
     on_event = (fun _ -> ());
     tracer = None;
   }
@@ -44,8 +46,11 @@ type result = {
    depth of [deliver] — a nested delivery (an actor's own fire feeding
    back as its occurrence) must not checkpoint a half-applied state. *)
 type jstate = {
-  j : (Actor.input, Actor.snapshot) Wf_store.Journal.t;
+  mutable j : (Actor.input, Actor.snapshot) Wf_store.Journal.t;
   mutable depth : int;
+  media : Wf_store.Media.Sim.sim option;
+      (* simulated storage under the journal; [None] = perfectly
+         durable in-memory journal (the pre-store behavior) *)
 }
 
 type runtime = {
@@ -129,6 +134,17 @@ let rec ctx_for rt (actor : Actor.t) : Actor.ctx =
 and deliver rt actor input =
   let js = Hashtbl.find rt.journals (Actor.symbol actor) in
   Wf_store.Journal.append js.j input;
+  (* Inputs the actor cannot re-derive after a crash must be durable
+     before their effects become externally visible: the channel has
+     already acked an [I_message] (it will never redeliver it) and an
+     [I_attempt] advanced the agent, which lives outside the journal.
+     [I_occurred] entries stay unsynced — a salvage that rolls one back
+     leaves the actor undecided, and the recovery handshake plus the
+     global decided-set re-establish the fate — so torn-tail and
+     lost-tail faults keep a real surface to bite on. *)
+  (match input with
+  | Actor.I_message _ | Actor.I_attempt _ -> Wf_store.Journal.sync js.j
+  | Actor.I_occurred _ | Actor.I_close -> ());
   js.depth <- js.depth + 1;
   Fun.protect
     ~finally:(fun () -> js.depth <- js.depth - 1)
@@ -253,6 +269,43 @@ and schedule_agent rt agent =
    actor record. *)
 let recover_actor rt sym =
   let js = Hashtbl.find rt.journals sym in
+  (* With simulated storage under the journal, a crash first damages
+     the media (seeded faults), then the journal is rebuilt from
+     whatever the salvage scan verifies — the in-memory mirror is
+     volatile and died with the site. *)
+  (match js.media with
+  | None -> ()
+  | Some m ->
+      let before = Wf_store.Journal.total_appended js.j in
+      Wf_store.Media.Sim.crash m;
+      let j', report =
+        Wf_store.Journal.reload ~checkpoint_every:rt.cfg.checkpoint_every
+          Actor.codec
+          (Wf_store.Media.Sim.device m)
+      in
+      js.j <- j';
+      let open Wf_store.Log in
+      let fallback = report.sr_ckpt = Fallback in
+      Wf_obs.Metrics.incr (stats rt) "store_salvages";
+      Wf_obs.Metrics.add (stats rt) "store_dropped_entries"
+        (before - report.sr_total_entries);
+      Wf_obs.Metrics.add (stats rt) "store_dropped_bytes"
+        report.sr_dropped_bytes;
+      if fallback then Wf_obs.Metrics.incr (stats rt) "store_ckpt_fallbacks";
+      (match rt.cfg.tracer with
+      | None -> ()
+      | Some sink ->
+          Wf_obs.Trace.emit sink
+            (Wf_obs.Trace.make
+               ~time:(Wf_sim.Netsim.now rt.net)
+               ~site:(Workflow_def.site_of rt.wf sym)
+               ~actor:(Symbol.name sym)
+               (Wf_obs.Trace.Store_salvage
+                  {
+                    kept = report.sr_frames;
+                    dropped = report.sr_dropped_bytes;
+                    fallback;
+                  }))));
   let fresh = (Hashtbl.find rt.actor_seeds sym) () in
   let ckpt, suffix = Wf_store.Journal.recover js.j in
   (match ckpt with Some s -> Actor.restore fresh s | None -> ());
@@ -274,6 +327,10 @@ let build cfg wf =
       ()
   in
   Wf_sim.Netsim.set_tracer net cfg.tracer;
+  (* Per-actor storage media draw their fault seeds from a dedicated
+     stream derived from the run seed, so enabling the store does not
+     perturb the run's own randomness. *)
+  let store_rng = Wf_sim.Rng.create (Int64.logxor cfg.seed 0x53544F52L) in
   (* Retransmission timeout: generously above one round trip, so the
      fault-free fast path rarely fires a retransmit. *)
   let chan =
@@ -350,11 +407,27 @@ let build cfg wf =
       let actor = seed () in
       Hashtbl.replace rt.actors sym actor;
       Hashtbl.replace rt.actor_seeds sym seed;
-      Hashtbl.replace rt.journals sym
-        {
-          j = Wf_store.Journal.create ~checkpoint_every:cfg.checkpoint_every ();
-          depth = 0;
-        };
+      let media =
+        match cfg.store with
+        | None -> None
+        | Some faults ->
+            Some
+              (Wf_store.Media.Sim.create ~faults
+                 ~seed:(Wf_sim.Rng.next_int64 store_rng)
+                 ~stats:(stats rt) ?tracer:cfg.tracer
+                 ~clock:(fun () -> Wf_sim.Netsim.now net)
+                 ~site:(Workflow_def.site_of wf sym)
+                 ~actor:(Symbol.name sym) ())
+      in
+      let j =
+        Wf_store.Journal.create ~checkpoint_every:cfg.checkpoint_every ()
+      in
+      (match media with
+      | None -> ()
+      | Some m ->
+          Wf_store.Journal.attach j
+            (Wf_store.Log.create Actor.codec (Wf_store.Media.Sim.device m)));
+      Hashtbl.replace rt.journals sym { j; depth = 0; media };
       (* Subscriptions: guard symbols of both polarities, the full
          alphabet of the demand automata, and the guards of complements
          the owning task's transitions may entail. *)

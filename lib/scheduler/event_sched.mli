@@ -36,6 +36,18 @@ type config = {
           its latest checkpoint plus journal suffix and runs the epoch
           handshake (channel Hello, then {!Messages.Recovered} to
           watched peers) *)
+  store : Wf_store.Media.Sim.fault_config option;
+      (** simulated storage under every actor journal (default [None] =
+          perfectly durable in-memory journal).  [Some faults] backs
+          each journal with a checksummed framed log over
+          [Wf_store.Media.Sim]: appends are serialized through
+          {!Actor.codec}, checkpoints sync, and a site crash first
+          damages the media per [faults] (torn final frame, lost
+          unsynced tail, bit flips, checkpoint corruption — seeded from
+          a dedicated stream), so recovery replays only what the
+          salvage scan could verify; entries lost with the unsynced
+          tail are reconstructed by the {!Messages.Recovered}
+          handshake's re-announcements *)
   on_event : occurrence -> unit;
       (** invoked at each occurrence, in order — the hook by which task
           effects (e.g. store updates) attach to significant events *)

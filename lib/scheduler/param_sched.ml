@@ -16,6 +16,45 @@ type snapshot = {
   s_parked_syms : Symbol.t list;
 }
 
+(* Binary codec for the engine's durable journal (threaded through
+   {!recover} whenever the journal is backed by simulated storage). *)
+module B = Wf_store.Binio
+
+let put_input buf = function
+  | P_attempt sym ->
+      B.put_uint buf 0;
+      Wire.put_symbol buf sym
+  | P_occurred lit ->
+      B.put_uint buf 1;
+      Wire.put_literal buf lit
+
+let get_input r =
+  match B.get_uint r with
+  | 0 -> P_attempt (Wire.get_symbol r)
+  | 1 -> P_occurred (Wire.get_literal r)
+  | n -> raise (B.Corrupt (Printf.sprintf "unknown param input tag %d" n))
+
+let put_snapshot buf s =
+  Wire.put_knowledge buf s.s_know;
+  B.put_int buf s.s_seqno;
+  B.put_list Wire.put_literal buf s.s_occurrences;
+  B.put_list Wire.put_symbol buf s.s_parked_syms
+
+let get_snapshot r =
+  let s_know = Wire.get_knowledge r in
+  let s_seqno = B.get_int r in
+  let s_occurrences = B.get_list Wire.get_literal r in
+  let s_parked_syms = B.get_list Wire.get_symbol r in
+  { s_know; s_seqno; s_occurrences; s_parked_syms }
+
+let codec : (input, snapshot) Wf_store.Log.codec =
+  {
+    enc_entry = B.encode put_input;
+    dec_entry = B.decode get_input;
+    enc_ckpt = B.encode put_snapshot;
+    dec_ckpt = B.decode get_snapshot;
+  }
+
 type t = {
   deps : Ptemplate.t list;
   templates : (int * Ptemplate.atom * Guard.t) list;
@@ -24,6 +63,10 @@ type t = {
          occurrence with a known token and an unrelated base cannot
          change the atom's instance statuses *)
   journal : (input, snapshot) Wf_store.Journal.t;
+  media : Wf_store.Media.Sim.sim option;
+      (* simulated storage under the journal; [None] = perfectly
+         durable in-memory journal *)
+  mutable last_salvage : Wf_store.Log.salvage_report option;
   mutable know : Knowledge.t;
   mutable seqno : int;
   mutable occurrences : Literal.t list; (* newest first *)
@@ -36,7 +79,7 @@ type t = {
 
 let fresh_marker = "*"
 
-let create ?(checkpoint_every = 32) deps =
+let create ?(checkpoint_every = 32) ?store ?(store_seed = 1L) deps =
   let templates =
     List.concat
       (List.mapi
@@ -68,11 +111,24 @@ let create ?(checkpoint_every = 32) deps =
                 (Guard.symbols g) [] ))
       templates
   in
+  let media =
+    Option.map
+      (fun faults -> Wf_store.Media.Sim.create ~faults ~seed:store_seed ())
+      store
+  in
+  let journal = Wf_store.Journal.create ~checkpoint_every () in
+  (match media with
+  | None -> ()
+  | Some m ->
+      Wf_store.Journal.attach journal
+        (Wf_store.Log.create codec (Wf_store.Media.Sim.device m)));
   {
     deps;
     templates;
     watch_bases;
-    journal = Wf_store.Journal.create ~checkpoint_every ();
+    journal;
+    media;
+    last_salvage = None;
     know = Knowledge.empty;
     seqno = 0;
     occurrences = [];
@@ -350,10 +406,41 @@ let occurred t lit =
   maybe_checkpoint t
 
 let recover t =
-  let fresh = { (create t.deps) with journal = t.journal } in
+  (* With simulated storage, the crash first damages the media, and the
+     journal is rebuilt from the salvage scan — the in-memory mirror is
+     volatile and died with the engine. *)
+  let journal, salvage =
+    match t.media with
+    | None -> (t.journal, None)
+    | Some m ->
+        Wf_store.Media.Sim.crash m;
+        let j', report =
+          Wf_store.Journal.reload
+            ~checkpoint_every:(Wf_store.Journal.checkpoint_interval t.journal)
+            codec
+            (Wf_store.Media.Sim.device m)
+        in
+        (j', Some report)
+  in
+  let fresh = { (create t.deps) with journal; media = t.media } in
+  fresh.last_salvage <-
+    (match salvage with None -> t.last_salvage | some -> some);
+  (match (salvage, t.tracer) with
+  | Some report, Some sink ->
+      Wf_obs.Trace.emit sink
+        (Wf_obs.Trace.make
+           ~time:(float_of_int t.tick)
+           ~site:0
+           (Wf_obs.Trace.Store_salvage
+              {
+                kept = report.Wf_store.Log.sr_frames;
+                dropped = report.Wf_store.Log.sr_dropped_bytes;
+                fallback = report.Wf_store.Log.sr_ckpt = Wf_store.Log.Fallback;
+              }))
+  | _ -> ());
   (* replay is silent: [fresh] starts with no tracer, so re-applied
      inputs do not re-emit decisions the pre-crash engine traced *)
-  let ckpt, suffix = Wf_store.Journal.recover t.journal in
+  let ckpt, suffix = Wf_store.Journal.recover journal in
   (match ckpt with Some s -> restore fresh s | None -> ());
   List.iter
     (function
@@ -374,3 +461,5 @@ let parked t = t.parked_syms
 let trace t = List.rev t.occurrences
 let knowledge t = t.know
 let guard_templates t = t.templates
+
+let last_salvage t = t.last_salvage

@@ -22,10 +22,19 @@ type outcome = Accepted | Parked | Rejected | Already
 
 type t
 
-val create : ?checkpoint_every:int -> Ptemplate.t list -> t
+val create :
+  ?checkpoint_every:int ->
+  ?store:Wf_store.Media.Sim.fault_config ->
+  ?store_seed:int64 ->
+  Ptemplate.t list ->
+  t
 (** Synthesizes one guard template per (dependency, atom pattern).
     [checkpoint_every] (default 32) sets the engine's write-ahead
-    journal cadence; see {!recover}. *)
+    journal cadence; see {!recover}.  [store] (default absent) backs
+    the journal with a checksummed framed log over simulated storage
+    seeded with [store_seed]: {!recover} then injects the configured
+    faults and rebuilds from the salvage scan instead of trusting the
+    in-memory journal. *)
 
 val set_tracer : t -> Wf_obs.Trace.sink option -> unit
 (** Attach a structured trace sink: decisions emit
@@ -58,9 +67,18 @@ val guard_templates : t -> (int * Ptemplate.atom * Guard.t) list
 val recover : t -> t
 (** Simulate a crash and restart: rebuild a fresh engine from the same
     dependency list (templates re-synthesized), restore the journal's
-    latest checkpoint, and replay the suffix.  The result is
-    state-identical to the input engine ({!equal_state}) and continues
-    the run seamlessly — the journal is carried over. *)
+    latest checkpoint, and replay the suffix.  Without simulated
+    storage the result is state-identical to the input engine
+    ({!equal_state}) and continues the run seamlessly — the journal is
+    carried over.  With a [store] (see {!create}), the crash first
+    damages the media per its fault config; recovery then replays
+    exactly the verifiable prefix, which equals the pre-crash state
+    only when no fault fired, and {!last_salvage} reports what was
+    kept. *)
+
+val last_salvage : t -> Wf_store.Log.salvage_report option
+(** The salvage report of the most recent {!recover} over simulated
+    storage; [None] before any such recovery (or without a store). *)
 
 val equal_state : t -> t -> bool
 (** Field-by-field equality of the mutable engine state (knowledge,

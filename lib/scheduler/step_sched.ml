@@ -285,6 +285,59 @@ let do_crash t site =
           (Actor.watched_symbols actor))
     hosted
 
+(* Torn-write soundness probe.  One actor's journal content (latest
+   checkpoint + suffix) is re-serialized through the binary codec onto a
+   fresh simulated medium and synced; then one more in-flight entry is
+   appended and its frame torn at byte [keep] — the crash struck
+   mid-write.  Salvage must keep exactly the synced frames, and the
+   state rebuilt from the salvaged log must equal the state ordinary
+   journal recovery rebuilds: the torn frame's input was never applied,
+   so losing it must lose nothing. *)
+let torn_recovery_ok t sym =
+  let js = Hashtbl.find t.journals sym in
+  let ckpt, suffix = Wf_store.Journal.recover js.j in
+  let rebuild ck sfx =
+    let fresh = (Hashtbl.find t.actor_seeds sym) () in
+    (match ck with Some s -> Actor.restore fresh s | None -> ());
+    let mctx = Actor.muted_ctx t.replay_stats in
+    List.iter (fun input -> Actor.apply mctx fresh input) sfx;
+    fresh
+  in
+  let reference = rebuild ckpt suffix in
+  let synced_frames =
+    (match ckpt with Some _ -> 1 | None -> 0) + List.length suffix
+  in
+  (* Tear inside the header, at its last byte, and inside the payload. *)
+  let keeps =
+    [ 1; Wf_store.Log.header_length - 1; Wf_store.Log.header_length + 3 ]
+  in
+  List.for_all
+    (fun keep ->
+      let sim = Wf_store.Media.Sim.create () in
+      let log =
+        Wf_store.Log.create Actor.codec (Wf_store.Media.Sim.device sim)
+      in
+      (match ckpt with Some s -> Wf_store.Log.checkpoint log s | None -> ());
+      List.iter (fun e -> Wf_store.Log.append log e) suffix;
+      Wf_store.Log.sync log;
+      Wf_store.Log.append log Actor.I_close;
+      Wf_store.Media.Sim.tear_tail sim ~keep;
+      let _, (ckpt', suffix'), report =
+        Wf_store.Log.recover Actor.codec (Wf_store.Media.Sim.device sim)
+      in
+      report.Wf_store.Log.sr_frames = synced_frames
+      && Actor.equal_state reference (rebuild ckpt' suffix'))
+    keeps
+
+let do_crash_torn t site =
+  if site < 0 || site >= t.nsites then
+    invalid_arg "Step_sched.do_crash_torn: site out of range";
+  let ok =
+    List.for_all (fun sym -> torn_recovery_ok t sym) (hosted_symbols t site)
+  in
+  do_crash t site;
+  ok
+
 (* {2 Backtracking} *)
 
 type snapshot = {

@@ -68,6 +68,17 @@ val do_crash : t -> int -> unit
     hosted actor from its journal, enqueue the recovery-handshake
     messages of undecided recovered actors. *)
 
+val do_crash_torn : t -> int -> bool
+(** {!do_crash}, preceded by a torn-write probe on every hosted actor:
+    the journal's content is re-serialized through {!Actor.codec} onto
+    a fresh simulated medium, synced, and an in-flight entry's frame is
+    torn at several byte offsets (inside the header, at its last byte,
+    inside the payload).  Returns [false] if any placement makes the
+    salvage scan keep the wrong frame count or rebuild a state that
+    differs ({!Actor.equal_state}) from ordinary journal recovery —
+    the crash transition is still performed either way, so exploration
+    can continue past the probe. *)
+
 (** {2 Backtracking} *)
 
 type snapshot

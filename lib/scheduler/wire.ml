@@ -1,0 +1,214 @@
+(* Binary codecs for the core types that appear in scheduler journals.
+
+   Every decoder rebuilds values through the public constructors —
+   [Symbol.make]/[Symbol.parametrized], [Term.make], [Knowledge.occurred]
+   — so hash-consing and invariants are re-established on the way in;
+   nothing is deserialized structurally past what the interfaces expose.
+   Decoders raise [Wf_store.Binio.Corrupt] on any malformed payload
+   (including invariant violations such as a repeated symbol in a term),
+   which [Wf_store.Binio.decode] turns into [None] for the log's typed
+   salvage path. *)
+
+open Wf_core
+module B = Wf_store.Binio
+
+type reader = B.reader
+
+let corrupt msg = raise (B.Corrupt msg)
+
+(* --- symbols and literals ------------------------------------------------- *)
+
+let put_symbol buf s =
+  B.put_string buf (Symbol.base s);
+  B.put_list B.put_string buf (Symbol.args s)
+
+let get_symbol r =
+  let base = B.get_string r in
+  match B.get_list B.get_string r with
+  | [] -> Symbol.make base
+  | args -> Symbol.parametrized base args
+
+let put_polarity buf (p : Literal.polarity) = B.put_bool buf (p = Pos)
+
+let get_polarity r : Literal.polarity = if B.get_bool r then Pos else Neg
+
+let put_literal buf (l : Literal.t) =
+  put_symbol buf l.sym;
+  put_polarity buf l.pol
+
+let get_literal r =
+  let sym = get_symbol r in
+  let pol = get_polarity r in
+  ({ sym; pol } : Literal.t)
+
+let put_symbol_set buf s = B.put_list put_symbol buf (Symbol.Set.elements s)
+let get_symbol_set r = Symbol.Set.of_list (B.get_list get_symbol r)
+let put_literal_set buf s = B.put_list put_literal buf (Literal.Set.elements s)
+let get_literal_set r = Literal.Set.of_list (B.get_list get_literal r)
+
+(* --- terms and guards ----------------------------------------------------- *)
+
+let put_term buf (t : Term.t) = B.put_list put_literal buf t
+
+let get_term r =
+  match Term.make (B.get_list get_literal r) with
+  | Some t -> t
+  | None -> corrupt "term repeats a symbol"
+
+let put_mask buf (m : Symbol_state.mask) =
+  if Symbol_state.subset m Symbol_state.full then B.put_uint buf m
+  else corrupt "mask out of range"
+
+let get_mask r : Symbol_state.mask =
+  let m = B.get_uint r in
+  if Symbol_state.subset m Symbol_state.full then m
+  else corrupt "mask out of range"
+
+let put_product buf (p : Guard.product) =
+  B.put_list
+    (fun buf (s, m) ->
+      put_symbol buf s;
+      put_mask buf m)
+    buf
+    (Symbol.Map.bindings p.masks);
+  B.put_list put_term buf p.pending
+
+let get_product r =
+  let bindings =
+    B.get_list
+      (fun r ->
+        let s = get_symbol r in
+        let m = get_mask r in
+        (s, m))
+      r
+  in
+  let masks =
+    List.fold_left
+      (fun acc (s, m) -> Symbol.Map.add s m acc)
+      Symbol.Map.empty bindings
+  in
+  let pending = B.get_list get_term r in
+  ({ masks; pending } : Guard.product)
+
+let put_guard buf (g : Guard.t) = B.put_list put_product buf (Guard.products g)
+let get_guard r : Guard.t = B.get_list get_product r
+
+(* --- knowledge ------------------------------------------------------------ *)
+
+let put_fate buf = function
+  | Knowledge.Occurred (p, seqno) ->
+      B.put_bool buf true;
+      put_polarity buf p;
+      B.put_int buf seqno
+  | Knowledge.Promised p ->
+      B.put_bool buf false;
+      put_polarity buf p
+
+let get_fate r =
+  if B.get_bool r then begin
+    let p = get_polarity r in
+    let seqno = B.get_int r in
+    Knowledge.Occurred (p, seqno)
+  end
+  else Knowledge.Promised (get_polarity r)
+
+let put_knowledge buf k =
+  B.put_list
+    (fun buf s ->
+      put_symbol buf s;
+      match Knowledge.fate_of k s with
+      | Some f -> put_fate buf f
+      | None -> corrupt "knowledge symbol without fate")
+    buf (Knowledge.symbols k)
+
+let get_knowledge r =
+  let items =
+    B.get_list
+      (fun r ->
+        let s = get_symbol r in
+        let f = get_fate r in
+        (s, f))
+      r
+  in
+  List.fold_left
+    (fun k (sym, fate) ->
+      match fate with
+      | Knowledge.Occurred (pol, seqno) ->
+          Knowledge.occurred { Literal.sym; pol } ~seqno k
+      | Knowledge.Promised pol -> Knowledge.promised { Literal.sym; pol } k)
+    Knowledge.empty items
+
+(* --- messages ------------------------------------------------------------- *)
+
+let put_message buf (m : Messages.t) =
+  match m with
+  | Announce { lit; seqno } ->
+      B.put_uint buf 0;
+      put_literal buf lit;
+      B.put_int buf seqno
+  | Promise_request { target; requester; offers } ->
+      B.put_uint buf 1;
+      put_literal buf target;
+      put_literal buf requester;
+      B.put_list put_literal buf offers
+  | Promise { lit; to_ } ->
+      B.put_uint buf 2;
+      put_literal buf lit;
+      put_literal buf to_
+  | Reserve { sym; requester } ->
+      B.put_uint buf 3;
+      put_symbol buf sym;
+      put_literal buf requester
+  | Reserve_granted { sym; to_ } ->
+      B.put_uint buf 4;
+      put_symbol buf sym;
+      put_literal buf to_
+  | Reserve_denied { sym; to_ } ->
+      B.put_uint buf 5;
+      put_symbol buf sym;
+      put_literal buf to_
+  | Release { sym; holder } ->
+      B.put_uint buf 6;
+      put_symbol buf sym;
+      put_literal buf holder
+  | Recovered { sym; epoch } ->
+      B.put_uint buf 7;
+      put_symbol buf sym;
+      B.put_int buf epoch
+
+let get_message r : Messages.t =
+  match B.get_uint r with
+  | 0 ->
+      let lit = get_literal r in
+      let seqno = B.get_int r in
+      Announce { lit; seqno }
+  | 1 ->
+      let target = get_literal r in
+      let requester = get_literal r in
+      let offers = B.get_list get_literal r in
+      Promise_request { target; requester; offers }
+  | 2 ->
+      let lit = get_literal r in
+      let to_ = get_literal r in
+      Promise { lit; to_ }
+  | 3 ->
+      let sym = get_symbol r in
+      let requester = get_literal r in
+      Reserve { sym; requester }
+  | 4 ->
+      let sym = get_symbol r in
+      let to_ = get_literal r in
+      Reserve_granted { sym; to_ }
+  | 5 ->
+      let sym = get_symbol r in
+      let to_ = get_literal r in
+      Reserve_denied { sym; to_ }
+  | 6 ->
+      let sym = get_symbol r in
+      let holder = get_literal r in
+      Release { sym; holder }
+  | 7 ->
+      let sym = get_symbol r in
+      let epoch = B.get_int r in
+      Recovered { sym; epoch }
+  | n -> corrupt (Printf.sprintf "unknown message tag %d" n)

@@ -1,0 +1,112 @@
+(* Binary payload primitives for the journal codecs.
+
+   Encoders write into a Buffer; decoders read from a string through a
+   mutable cursor and raise [Corrupt] on any malformed input — the
+   typed codec layers catch it and turn the payload into a decode
+   failure, never an exception escaping recovery.  Integers use LEB128
+   varints (entries are dominated by small ints and short strings), so
+   payloads stay compact without fixed-width waste. *)
+
+exception Corrupt of string
+
+type reader = { src : string; mutable pos : int }
+
+let reader src = { src; pos = 0 }
+
+let fail msg = raise (Corrupt msg)
+
+let at_end r = r.pos >= String.length r.src
+
+let byte r =
+  if r.pos >= String.length r.src then fail "unexpected end of payload";
+  let c = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+(* --- varint (unsigned LEB128; signed goes through zigzag) ---------------- *)
+
+let put_uint buf n =
+  if n < 0 then invalid_arg "Binio.put_uint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let get_uint r =
+  let rec go shift acc =
+    if shift > 56 then fail "varint overflow";
+    let b = byte r in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let put_int buf n = put_uint buf (if n >= 0 then n lsl 1 else ((-n) lsl 1) - 1)
+
+let get_int r =
+  let z = get_uint r in
+  if z land 1 = 0 then z lsr 1 else -((z + 1) lsr 1)
+
+(* --- strings, bools, options, lists -------------------------------------- *)
+
+let put_string buf s =
+  put_uint buf (String.length s);
+  Buffer.add_string buf s
+
+let get_string r =
+  let n = get_uint r in
+  if n < 0 || r.pos + n > String.length r.src then fail "string overruns payload";
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let put_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let get_bool r =
+  match byte r with
+  | 0 -> false
+  | 1 -> true
+  | n -> fail (Printf.sprintf "bad bool byte %d" n)
+
+let put_option put buf = function
+  | None -> Buffer.add_char buf '\000'
+  | Some v ->
+      Buffer.add_char buf '\001';
+      put buf v
+
+let get_option get r =
+  match byte r with
+  | 0 -> None
+  | 1 -> Some (get r)
+  | n -> fail (Printf.sprintf "bad option byte %d" n)
+
+let put_list put buf xs =
+  put_uint buf (List.length xs);
+  List.iter (put buf) xs
+
+let get_list get r =
+  let n = get_uint r in
+  if n > String.length r.src - r.pos then fail "list longer than payload";
+  List.init n (fun _ -> get r)
+
+(* --- typed codec entry points -------------------------------------------- *)
+
+let encode put v =
+  let buf = Buffer.create 64 in
+  put buf v;
+  Buffer.contents buf
+
+(* A decoder must consume the payload exactly: trailing garbage means
+   the payload is not what the encoder produced. *)
+let decode get s =
+  match
+    let r = reader s in
+    let v = get r in
+    if at_end r then Some v else None
+  with
+  | v -> v
+  | exception Corrupt _ -> None

@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE, polynomial 0xEDB88320) — the checksum of the log's
+    frame format.  Standard reflected table-driven implementation, so
+    checked-in binary fixtures remain verifiable with any off-the-shelf
+    CRC-32 tool. *)
+
+val bytes : bytes -> pos:int -> len:int -> int32
+val string : string -> int32
+
+val update : int32 -> bytes -> pos:int -> len:int -> int32
+(** Incremental form: [update crc b ~pos ~len] extends a running
+    checksum ([bytes] is [update 0l]). *)

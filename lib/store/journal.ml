@@ -9,7 +9,12 @@
    The log is polymorphic in both the entry and the checkpoint type so
    the same module backs event actors, the parametric engine, and the
    central scheduler.  Entries after the latest checkpoint are kept
-   newest-first (cons is O(1)); [recover] reverses once. *)
+   newest-first (cons is O(1)); [recover] reverses once.
+
+   A journal may carry a durable backend (a framed [Log] over a
+   [Media] device): every append/checkpoint is then mirrored to the
+   backend, and [reload] rebuilds the in-memory state from whatever the
+   backend's salvage scan could verify after a storage fault. *)
 
 type ('entry, 'ckpt) t = {
   checkpoint_every : int;
@@ -18,6 +23,7 @@ type ('entry, 'ckpt) t = {
   mutable suffix_len : int;
   mutable appended : int; (* total over the journal's lifetime *)
   mutable checkpoints : int;
+  mutable log : ('entry, 'ckpt) Log.t option; (* durable backend, if any *)
 }
 
 let create ?(checkpoint_every = 32) () =
@@ -30,9 +36,18 @@ let create ?(checkpoint_every = 32) () =
     suffix_len = 0;
     appended = 0;
     checkpoints = 0;
+    log = None;
   }
 
+let attach t log =
+  if t.appended > 0 || t.ckpt <> None then
+    invalid_arg "Journal.attach: journal not fresh";
+  if Log.frames_written log <> 0 then
+    invalid_arg "Journal.attach: log not fresh (use reload)";
+  t.log <- Some log
+
 let append t entry =
+  (match t.log with None -> () | Some l -> Log.append l entry);
   t.suffix <- entry :: t.suffix;
   t.suffix_len <- t.suffix_len + 1;
   t.appended <- t.appended + 1
@@ -40,17 +55,45 @@ let append t entry =
 let wants_checkpoint t = t.suffix_len >= t.checkpoint_every
 
 let checkpoint t snapshot =
+  (match t.log with None -> () | Some l -> Log.checkpoint l snapshot);
   t.ckpt <- Some snapshot;
   t.suffix <- [];
   t.suffix_len <- 0;
   t.checkpoints <- t.checkpoints + 1
 
+let sync t = match t.log with None -> () | Some l -> Log.sync l
+
+(* Pure read of the in-memory mirror: no backend I/O, no mutation, so
+   calling it twice — or interleaved with appends, or inside the
+   checkpoint window — always reflects exactly the current state. *)
 let recover t = (t.ckpt, List.rev t.suffix)
 
 (* Entries and checkpoints are immutable values, so a field-wise copy is
    a full logical copy: the original and the copy evolve independently
-   while sharing the (persistent) suffix spine. *)
-let copy t = { t with appended = t.appended }
+   while sharing the (persistent) suffix spine.  The copy deliberately
+   drops the durable backend — it is a volatile snapshot (the model
+   checker's), and mirroring its appends into the original's media
+   would corrupt the sequence numbering. *)
+let copy t = { t with log = None }
 let suffix_length t = t.suffix_len
 let total_appended t = t.appended
 let checkpoints_taken t = t.checkpoints
+
+let reload ?(checkpoint_every = 32) codec media =
+  if checkpoint_every <= 0 then
+    invalid_arg "Journal.reload: checkpoint_every must be positive";
+  let log, (ckpt, entries), report = Log.recover codec media in
+  let t =
+    {
+      checkpoint_every;
+      ckpt;
+      suffix = List.rev entries;
+      suffix_len = List.length entries;
+      appended = report.Log.sr_total_entries;
+      checkpoints = report.Log.sr_checkpoints;
+      log = Some log;
+    }
+  in
+  (t, report)
+
+let checkpoint_interval t = t.checkpoint_every

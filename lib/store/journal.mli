@@ -10,15 +10,24 @@
     the pre-crash state — provided state evolution is a deterministic
     function of the input sequence, which the property suite checks.
 
-    The journal models durable storage inside the simulator, so it
-    deliberately has no serialization: entries and checkpoints are kept
-    as in-memory values of arbitrary type. *)
+    The journal keeps entries and checkpoints as in-memory values of
+    arbitrary type; a durable backend is optional.  {!attach} mirrors
+    every append and checkpoint into a framed {!Log} over a {!Media}
+    device, and {!reload} rebuilds a journal from whatever that log's
+    salvage scan could verify after a storage fault — the two halves of
+    surviving torn writes and lost tails. *)
 
 type ('entry, 'ckpt) t
 
 val create : ?checkpoint_every:int -> unit -> ('entry, 'ckpt) t
 (** [checkpoint_every] (default 32, must be positive) is the number of
     appends after which {!wants_checkpoint} turns true. *)
+
+val attach : ('entry, 'ckpt) t -> ('entry, 'ckpt) Log.t -> unit
+(** Mirror all subsequent appends and checkpoints into [log].  Both the
+    journal and the log must be fresh (nothing appended): an existing
+    image is opened with {!reload} instead.  Raises [Invalid_argument]
+    otherwise. *)
 
 val append : ('entry, 'ckpt) t -> 'entry -> unit
 
@@ -30,17 +39,45 @@ val wants_checkpoint : ('entry, 'ckpt) t -> bool
 val checkpoint : ('entry, 'ckpt) t -> 'ckpt -> unit
 (** Record a snapshot and truncate the suffix. *)
 
+val sync : ('entry, 'ckpt) t -> unit
+(** Force the durable backend's unsynced tail to storage ({!checkpoint}
+    does this implicitly).  No-op without a backend. *)
+
 val recover : ('entry, 'ckpt) t -> 'ckpt option * 'entry list
 (** Latest checkpoint (or [None] if none was ever taken) and the
-    entries appended after it, oldest first. *)
+    entries appended after it, oldest first.
+
+    [recover] is idempotent and side-effect-free: it reads the
+    in-memory mirror without touching the backend or any mutable
+    field, so [recover; append; recover] observes exactly the one
+    extra entry, and calling it inside the checkpoint window (suffix
+    at [checkpoint_every], snapshot not yet taken) returns the full
+    suffix unchanged — double invocation can never lose or duplicate
+    entries. *)
 
 val copy : ('entry, 'ckpt) t -> ('entry, 'ckpt) t
 (** An independent logical copy (entries and checkpoints are treated as
     immutable values and shared).  The model checker snapshots a
     journaled actor's durable state with this before exploring a
     branch, so backtracking restores the journal along with the
-    volatile state. *)
+    volatile state.  The copy has no durable backend, even if the
+    original does — mirroring a volatile snapshot's appends into the
+    original's media would corrupt its frame sequence. *)
+
+val reload :
+  ?checkpoint_every:int ->
+  ('entry, 'ckpt) Log.codec ->
+  Media.t ->
+  ('entry, 'ckpt) t * Log.salvage_report
+(** Rebuild a journal from a (possibly fault-damaged) media image: run
+    {!Log.recover}, adopt the salvaged checkpoint and suffix, and keep
+    the repaired log attached as the durable backend.  The report says
+    exactly what was kept and dropped; [total_appended] and
+    [checkpoints_taken] restart from the salvaged counts. *)
 
 val suffix_length : ('entry, 'ckpt) t -> int
 val total_appended : ('entry, 'ckpt) t -> int
 val checkpoints_taken : ('entry, 'ckpt) t -> int
+
+val checkpoint_interval : ('entry, 'ckpt) t -> int
+(** The [checkpoint_every] this journal was created with. *)

@@ -1,0 +1,222 @@
+(* Pluggable byte device under the framed log, plus the simulated
+   storage medium with seeded fault injection.
+
+   The log layer only needs five operations — read the whole image,
+   append, truncate, sync, and a layout hint for the last frame — so a
+   device is a record of closures, the same shape as a network link in
+   netsim.  [Sim] is the in-memory implementation: a growable byte
+   image with a synced watermark and a fault model mirroring netsim's
+   crash injection (own RNG stream, probabilities, budget), applied
+   when the owner declares a crash. *)
+
+type t = {
+  m_contents : unit -> string;
+  m_length : unit -> int;
+  m_append : string -> unit;
+  m_truncate : int -> unit;
+  m_sync : unit -> unit;
+  m_note_frame : pos:int -> len:int -> ckpt:bool -> unit;
+}
+
+let contents d = d.m_contents ()
+let length d = d.m_length ()
+let append d s = d.m_append s
+let truncate d n = d.m_truncate n
+let sync d = d.m_sync ()
+let note_frame d ~pos ~len ~ckpt = d.m_note_frame ~pos ~len ~ckpt
+
+module Sim = struct
+  type fault_config = {
+    torn_write : float;
+    lost_tail : float;
+    bit_flip : float;
+    ckpt_corrupt : float;
+    max_faults : int;
+  }
+
+  let no_faults =
+    {
+      torn_write = 0.0;
+      lost_tail = 0.0;
+      bit_flip = 0.0;
+      ckpt_corrupt = 0.0;
+      max_faults = 0;
+    }
+
+  type sim = {
+    faults : fault_config;
+    rng : Wf_sim.Rng.t;
+    mutable data : Bytes.t;
+    mutable len : int;
+    mutable synced : int; (* bytes guaranteed durable across a crash *)
+    mutable last_frame : (int * int) option; (* pos, len of newest frame *)
+    mutable last_ckpt : (int * int) option; (* pos, len of newest ckpt frame *)
+    mutable injected : int;
+    stats : Wf_obs.Metrics.t option;
+    tracer : Wf_obs.Trace.sink option;
+    clock : unit -> float;
+    site : int;
+    actor : string;
+  }
+
+  let create ?(faults = no_faults) ?(seed = 1L) ?stats ?tracer
+      ?(clock = fun () -> 0.0) ?(site = 0) ?(actor = "") () =
+    {
+      faults;
+      rng = Wf_sim.Rng.create seed;
+      data = Bytes.create 256;
+      len = 0;
+      synced = 0;
+      last_frame = None;
+      last_ckpt = None;
+      injected = 0;
+      stats;
+      tracer;
+      clock;
+      site;
+      actor;
+    }
+
+  let load ?faults ?seed ?stats ?tracer ?clock ?site ?actor image =
+    let s = create ?faults ?seed ?stats ?tracer ?clock ?site ?actor () in
+    let n = String.length image in
+    s.data <- Bytes.of_string image;
+    s.len <- n;
+    s.synced <- n;
+    s
+
+  let contents s = Bytes.sub_string s.data 0 s.len
+  let length s = s.len
+  let synced_length s = s.synced
+  let faults_injected s = s.injected
+
+  let incr_stat s name =
+    match s.stats with None -> () | Some m -> Wf_obs.Metrics.incr m name
+
+  let add_stat s name n =
+    match s.stats with None -> () | Some m -> Wf_obs.Metrics.add m name n
+
+  let ensure s extra =
+    let need = s.len + extra in
+    if need > Bytes.length s.data then begin
+      let cap = ref (max 256 (Bytes.length s.data)) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let data = Bytes.create !cap in
+      Bytes.blit s.data 0 data 0 s.len;
+      s.data <- data
+    end
+
+  let append s chunk =
+    let n = String.length chunk in
+    ensure s n;
+    Bytes.blit_string chunk 0 s.data s.len n;
+    s.len <- s.len + n;
+    incr_stat s "store_appends";
+    add_stat s "store_appended_bytes" n
+
+  let clamp_hint len = function
+    | Some (pos, flen) when pos + flen <= len -> Some (pos, flen)
+    | _ -> None
+
+  let truncate s n =
+    if n < 0 || n > s.len then invalid_arg "Media.Sim.truncate";
+    s.len <- n;
+    s.synced <- min s.synced n;
+    s.last_frame <- clamp_hint n s.last_frame;
+    s.last_ckpt <- clamp_hint n s.last_ckpt
+
+  let sync s =
+    s.synced <- s.len;
+    incr_stat s "store_syncs"
+
+  let note_frame s ~pos ~len ~ckpt =
+    s.last_frame <- Some (pos, len);
+    if ckpt then s.last_ckpt <- Some (pos, len)
+
+  let device s =
+    {
+      m_contents = (fun () -> contents s);
+      m_length = (fun () -> s.len);
+      m_append = append s;
+      m_truncate = truncate s;
+      m_sync = (fun () -> sync s);
+      m_note_frame = note_frame s;
+    }
+
+  (* --- fault injection ---------------------------------------------------- *)
+
+  let record_fault s name =
+    s.injected <- s.injected + 1;
+    incr_stat s ("store_fault_" ^ name);
+    match s.tracer with
+    | None -> ()
+    | Some sink ->
+        Wf_obs.Trace.emit sink
+          (Wf_obs.Trace.make ~time:(s.clock ()) ~site:s.site ~actor:s.actor
+             (Wf_obs.Trace.Store_fault { fault = name }))
+
+  (* Deterministic injectors: exactly the mutations the seeded [crash]
+     path draws, exposed directly so fixtures and the model checker can
+     place a specific fault without consuming randomness. *)
+
+  let lose_tail s =
+    if s.len > s.synced then begin
+      truncate s s.synced;
+      record_fault s "lost_tail"
+    end
+
+  let tear_tail s ~keep =
+    match s.last_frame with
+    | Some (pos, flen) when pos + flen = s.len && pos >= s.synced ->
+        let keep = max 0 (min keep (flen - 1)) in
+        truncate s (pos + keep);
+        record_fault s "torn"
+    | _ -> ()
+
+  let flip_bit s bit =
+    let nbits = s.len * 8 in
+    if nbits > 0 then begin
+      let bit = ((bit mod nbits) + nbits) mod nbits in
+      let i = bit / 8 and m = 1 lsl (bit mod 8) in
+      Bytes.set s.data i (Char.chr (Char.code (Bytes.get s.data i) lxor m));
+      record_fault s "bit_flip"
+    end
+
+  let corrupt_ckpt s ~truncated =
+    match s.last_ckpt with
+    | None -> ()
+    | Some (pos, flen) ->
+        if truncated then truncate s (pos + (flen / 2))
+        else begin
+          (* Flip a bit inside the checkpoint frame's payload region,
+             past the 10-byte header so the frame still parses far
+             enough to identify itself before the CRC rejects it. *)
+          let off = pos + min (flen - 1) (10 + ((flen - 10) / 2)) in
+          Bytes.set s.data off
+            (Char.chr (Char.code (Bytes.get s.data off) lxor 0x10))
+        end;
+        record_fault s "ckpt_corrupt"
+
+  let crash s =
+    (* Draw every probability unconditionally so the RNG stream does
+       not depend on the budget, mirroring netsim's crash path. *)
+    let roll p = p > 0.0 && Wf_sim.Rng.float s.rng 1.0 < p in
+    let budget () = s.injected < s.faults.max_faults in
+    let want_lost = roll s.faults.lost_tail in
+    let want_torn = roll s.faults.torn_write in
+    let want_ckpt = roll s.faults.ckpt_corrupt in
+    let want_flip = roll s.faults.bit_flip in
+    if want_lost && budget () then lose_tail s;
+    if want_torn && budget () then begin
+      match s.last_frame with
+      | Some (pos, flen) when pos + flen = s.len && pos >= s.synced ->
+          tear_tail s ~keep:(Wf_sim.Rng.int s.rng flen)
+      | _ -> ()
+    end;
+    if want_ckpt && budget () && s.last_ckpt <> None then
+      corrupt_ckpt s ~truncated:(Wf_sim.Rng.bool s.rng);
+    if want_flip && budget () && s.len > 0 then
+      flip_bit s (Wf_sim.Rng.int s.rng (s.len * 8))
+end

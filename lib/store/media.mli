@@ -1,0 +1,110 @@
+(** Pluggable byte device under {!Log}, and the simulated storage
+    medium with seeded fault injection.
+
+    A device is a record of closures (like a netsim link): the log
+    layer appends framed bytes, reads the whole image back on recovery,
+    truncates to the verified prefix, and calls [sync] at durability
+    points.  [note_frame] is a layout hint — the device learns where
+    the newest frame (and newest checkpoint frame) starts so crash
+    faults can target it without parsing the format.
+
+    {!Sim} is the in-memory implementation used everywhere in the
+    simulator.  Its fault model mirrors [Wf_sim.Netsim]'s crash
+    injection: probabilities drawn from the medium's own RNG stream,
+    capped by a fault budget, applied only when the owner declares a
+    crash via {!Sim.crash}:
+
+    - [torn_write] — the final unsynced frame is cut mid-write;
+    - [lost_tail] — everything after the last [sync] is lost;
+    - [bit_flip] — one random bit of the image flips;
+    - [ckpt_corrupt] — the newest checkpoint frame is truncated or
+      bit-flipped, forcing recovery to fall back to an older one. *)
+
+type t = {
+  m_contents : unit -> string;
+  m_length : unit -> int;
+  m_append : string -> unit;
+  m_truncate : int -> unit;
+  m_sync : unit -> unit;
+  m_note_frame : pos:int -> len:int -> ckpt:bool -> unit;
+}
+
+val contents : t -> string
+val length : t -> int
+val append : t -> string -> unit
+val truncate : t -> int -> unit
+val sync : t -> unit
+val note_frame : t -> pos:int -> len:int -> ckpt:bool -> unit
+
+module Sim : sig
+  type fault_config = {
+    torn_write : float;  (** P(final unsynced frame torn) per crash *)
+    lost_tail : float;  (** P(unsynced tail lost) per crash *)
+    bit_flip : float;  (** P(one random bit flips) per crash *)
+    ckpt_corrupt : float;  (** P(newest checkpoint corrupted) per crash *)
+    max_faults : int;  (** lifetime fault budget for this medium *)
+  }
+
+  val no_faults : fault_config
+
+  type sim
+
+  val create :
+    ?faults:fault_config ->
+    ?seed:int64 ->
+    ?stats:Wf_obs.Metrics.t ->
+    ?tracer:Wf_obs.Trace.sink ->
+    ?clock:(unit -> float) ->
+    ?site:int ->
+    ?actor:string ->
+    unit ->
+    sim
+  (** Fresh empty medium.  [stats] receives [store_appends],
+      [store_appended_bytes], [store_syncs] and [store_fault_*]
+      counters; [tracer] receives a [Store_fault] record per injected
+      fault, stamped with [clock ()], [site] and [actor]. *)
+
+  val load :
+    ?faults:fault_config ->
+    ?seed:int64 ->
+    ?stats:Wf_obs.Metrics.t ->
+    ?tracer:Wf_obs.Trace.sink ->
+    ?clock:(unit -> float) ->
+    ?site:int ->
+    ?actor:string ->
+    string ->
+    sim
+  (** A medium whose image is the given string, fully synced — how
+      checked-in fixture logs are opened. *)
+
+  val device : sim -> t
+  (** The {!Media.t} view the log layer writes through. *)
+
+  val crash : sim -> unit
+  (** Declare a crash: draw each fault kind against its probability
+      (always consuming the same number of RNG draws, so the stream is
+      budget-independent) and apply those that fire within the
+      remaining budget. *)
+
+  (** Deterministic injectors — the same mutations [crash] draws, for
+      fixtures and the model checker's torn-write placements. Each
+      counts against nothing but records the fault in stats/trace. *)
+
+  val lose_tail : sim -> unit
+  val tear_tail : sim -> keep:int -> unit
+  (** Cut the final unsynced frame, keeping [keep] bytes of it
+      (clamped to [0, frame length - 1]).  No-op when the newest frame
+      is synced or absent. *)
+
+  val flip_bit : sim -> int -> unit
+  (** Flip the given bit offset (mod image size in bits). *)
+
+  val corrupt_ckpt : sim -> truncated:bool -> unit
+  (** Truncate the image mid-checkpoint-frame, or flip a bit inside the
+      checkpoint frame.  No-op when no checkpoint frame exists. *)
+
+  val contents : sim -> string
+  val length : sim -> int
+  val synced_length : sim -> int
+  val faults_injected : sim -> int
+end

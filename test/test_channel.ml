@@ -150,6 +150,53 @@ let test_retry_cap () =
     (Wf_obs.Metrics.count (Netsim.stats net) "chan_retransmits");
   check Alcotest.int "nothing pending" 0 (Channel.unacked chan)
 
+(* Retransmission times of one doomed message on a network with zero
+   latency jitter: all timing randomness left is the channel's own
+   jitter stream. *)
+let retransmit_times ~seed ~retransmit_jitter =
+  let faults = { Netsim.no_faults with drop_rate = 1.0 } in
+  let net =
+    Netsim.create ~seed ~faults ~num_sites:2
+      ~latency:(Netsim.uniform_latency ~base:1.0 ~jitter:0.0)
+      ()
+  in
+  let sink, records = Wf_obs.Trace.collector () in
+  Netsim.set_tracer net (Some sink);
+  let chan =
+    Channel.create ~rto:1.0 ~max_rto:64.0 ~max_retries:8 ~retransmit_jitter net
+  in
+  Channel.on_receive chan 1 (fun _ _ -> ());
+  Channel.on_receive chan 0 (fun _ _ -> ());
+  Channel.send chan ~src:0 ~dst:1 "doomed";
+  Netsim.run net;
+  List.filter_map
+    (fun (r : Wf_obs.Trace.record) ->
+      match r.Wf_obs.Trace.kind with
+      | Wf_obs.Trace.Retransmit _ -> Some r.Wf_obs.Trace.time
+      | _ -> None)
+    (records ())
+
+let test_retransmit_jitter_desync () =
+  (* Two senders with adjacent seeds that queued traffic behind the same
+     dead link must not retransmit in lockstep: their jitter streams
+     differ, so their schedules diverge from the very first retry. *)
+  let a = retransmit_times ~seed:1L ~retransmit_jitter:0.1 in
+  let b = retransmit_times ~seed:2L ~retransmit_jitter:0.1 in
+  check Alcotest.int "same retry count" (List.length a) (List.length b);
+  checkb "retries happened" (List.length a = 8);
+  checkb "adjacent seeds desynchronize" (a <> b);
+  checkb "jitter stays within ±10% of the backoff schedule"
+    (List.for_all2
+       (fun ta tb -> Float.abs (ta -. tb) <= 0.2 *. Float.max ta tb)
+       a b);
+  (* Replays are still deterministic: same seed, same schedule. *)
+  checkb "same seed replays identically"
+    (retransmit_times ~seed:1L ~retransmit_jitter:0.1 = a);
+  (* jitter 0 restores exact exponential backoff, identical across seeds *)
+  let a0 = retransmit_times ~seed:1L ~retransmit_jitter:0.0 in
+  let b0 = retransmit_times ~seed:2L ~retransmit_jitter:0.0 in
+  checkb "zero jitter is seed-independent lockstep" (a0 = b0)
+
 let suite =
   [
     Alcotest.test_case "clean network" `Quick test_clean_network;
@@ -160,4 +207,6 @@ let suite =
     Alcotest.test_case "site pause/resume" `Quick test_pause_resume;
     Alcotest.test_case "ack latency series" `Quick test_ack_latency_observed;
     Alcotest.test_case "retry cap on a dead link" `Quick test_retry_cap;
+    Alcotest.test_case "adjacent-seed senders desynchronize retries" `Quick
+      test_retransmit_jitter_desync;
   ]

@@ -88,6 +88,23 @@ let test_crash_depth () =
   checkb "crash exploration is a superset"
     (r.Mc.r_states > (clean_report "mc_pair.wf").Mc.r_states)
 
+let test_torn_writes () =
+  (* Torn-write crash placements share the crash budget: every crash
+     point also probes that a frame torn mid-write salvages back to the
+     journal-recovery state.  A clean report is the store-soundness
+     claim for the whole reachable state space of the spec. *)
+  let r =
+    Mc.check ~crash_depth:1 ~torn_writes:true ~spec_name:"mc_pair.wf"
+      (load "mc_pair.wf")
+  in
+  checkb "complete" r.Mc.r_complete;
+  check Alcotest.(list string) "no store divergences" []
+    (List.map (fun d -> d.Mc.d_detail) r.Mc.r_divergences);
+  check Alcotest.int "states (pinned)" 838 r.Mc.r_states;
+  checkb "torn placements add states over plain crashes"
+    (r.Mc.r_states > (clean_report ~crash_depth:1 "mc_pair.wf").Mc.r_states);
+  checkb "recoveries exercised" (r.Mc.r_recoveries > 0)
+
 (* --- Naive vs DPOR ------------------------------------------------------- *)
 
 (* The reduction prunes reorderings of independent events, so the two
@@ -371,6 +388,8 @@ let suite =
       test_trigger_exhaustive;
     Alcotest.test_case "crash-depth 1 exercises recovery" `Quick
       test_crash_depth;
+    Alcotest.test_case "torn-write placements verified on mc_pair" `Quick
+      test_torn_writes;
     Alcotest.test_case "naive and DPOR agree on verdicts" `Slow
       test_naive_vs_dpor;
     Alcotest.test_case "coupling classes split mc_indep" `Quick

@@ -37,6 +37,35 @@ let test_journal_basics () =
        false
      with Invalid_argument _ -> true)
 
+let test_recover_idempotent () =
+  (* [recover] is a pure read: double invocation, invocation interleaved
+     with appends, and invocation inside the checkpoint window (cadence
+     reached but checkpoint not yet taken) must never lose, duplicate,
+     or prematurely truncate entries. *)
+  let j = Wf_store.Journal.create ~checkpoint_every:3 () in
+  Wf_store.Journal.append j 1;
+  Wf_store.Journal.append j 2;
+  let r1 = Wf_store.Journal.recover j in
+  checkb "double recover agrees" (Wf_store.Journal.recover j = r1);
+  checkb "recover sees both entries" (r1 = (None, [ 1; 2 ]));
+  Wf_store.Journal.append j 3;
+  (* Checkpoint window: cadence reached, snapshot not yet written. *)
+  checkb "inside the checkpoint window" (Wf_store.Journal.wants_checkpoint j);
+  let r2 = Wf_store.Journal.recover j in
+  checkb "recover-append-recover sees exactly the one extra entry"
+    (r2 = (None, [ 1; 2; 3 ]));
+  checkb "recover in the window is side-effect-free"
+    (Wf_store.Journal.suffix_length j = 3
+    && Wf_store.Journal.wants_checkpoint j
+    && Wf_store.Journal.checkpoints_taken j = 0);
+  checkb "and still idempotent" (Wf_store.Journal.recover j = r2);
+  Wf_store.Journal.checkpoint j "s@3";
+  let r3 = Wf_store.Journal.recover j in
+  checkb "after the checkpoint: snapshot, empty suffix"
+    (r3 = (Some "s@3", []));
+  checkb "idempotent across the checkpoint too"
+    (Wf_store.Journal.recover j = r3)
+
 (* --- netsim crash/restart ------------------------------------------------ *)
 
 let raw_net ?(num_sites = 2) ?(seed = 7L) ?(faults = Netsim.no_faults) () =
@@ -502,6 +531,106 @@ let test_crash_prob_one_stress () =
           [ `Distributed; `Central ])
     (spec_files ())
 
+(* Storage faults layered on the crash load: every actor recovery now
+   reads the salvage of a possibly torn or truncated log instead of the
+   pristine in-memory journal.  The mix is deliberately restricted to
+   the two {e write-atomicity} faults — torn final frame and lost
+   unsynced tail — which can only roll back unsynced [I_occurred]
+   entries (the scheduler syncs non-re-derivable inputs at append
+   time), and the Recovered handshake re-announces decided fates to the
+   rolled-back actor, so the runs must still satisfy every dependency's
+   denotation end to end.  [bit_flip] and [ckpt_corrupt] destroy
+   {e synced} state the protocol is entitled to assume durable; no
+   handshake can reconstruct it, so those faults are excluded from the
+   end-to-end claim and covered by the salvage-layer tests and the
+   salvage differential in [Test_log] instead. *)
+let store_load =
+  {
+    Wf_store.Media.Sim.torn_write = 0.5;
+    lost_tail = 0.4;
+    bit_flip = 0.0;
+    ckpt_corrupt = 0.0;
+    max_faults = 2;
+  }
+
+let test_store_fault_conformance () =
+  let agg = ref (Wf_obs.Metrics.create ()) in
+  List.iter
+    (fun path ->
+      let { Wf_lang.Elaborate.def; templates } =
+        Wf_lang.Elaborate.load_file path
+      in
+      if templates = [] then begin
+        let deps = Wf_tasks.Workflow_def.dependencies def in
+        List.iter
+          (fun seed ->
+            let r =
+              Event_sched.run
+                ~config:
+                  {
+                    Event_sched.default_config with
+                    seed;
+                    faults = crash_load;
+                    store = Some store_load;
+                    checkpoint_every = 4;
+                  }
+                def
+            in
+            let name =
+              Printf.sprintf "store-faulty %s seed %Ld"
+                (Filename.basename path) seed
+            in
+            checkb (name ^ ": satisfied") r.Event_sched.satisfied;
+            let trace = Event_sched.trace_literals r in
+            checkb (name ^ ": well-formed trace") (Trace.well_formed trace);
+            List.iter
+              (fun dep ->
+                checkb
+                  (name ^ ": denotation of " ^ Expr.to_string dep)
+                  (satisfied_by_denotation dep trace))
+              deps;
+            agg := Wf_obs.Metrics.merge !agg r.Event_sched.stats)
+          (Helpers.suite_seeds "conformance-store" 20)
+      end)
+    (spec_files ());
+  let count name = Wf_obs.Metrics.count !agg name in
+  checkb "journals were salvaged" (count "store_salvages" > 0);
+  checkb "storage faults fired"
+    (count "store_fault_torn" + count "store_fault_lost_tail"
+     + count "store_fault_bit_flip"
+     + count "store_fault_ckpt_corrupt"
+    > 0);
+  checkb "faults cost journal entries" (count "store_dropped_entries" > 0);
+  checkb "journals synced" (count "store_syncs" > 0)
+
+let test_store_faultfree_matches_memory () =
+  (* A fault-free store is pure plumbing: the run's realized trace must
+     be identical to the same seed without any store at all. *)
+  let path = Filename.concat spec_dir "travel.wf" in
+  let { Wf_lang.Elaborate.def; _ } = Wf_lang.Elaborate.load_file path in
+  let go store =
+    Event_sched.run
+      ~config:
+        {
+          Event_sched.default_config with
+          seed = 31L;
+          faults = crash_load;
+          store;
+        }
+      def
+  in
+  let plain = go None in
+  let stored = go (Some Wf_store.Media.Sim.no_faults) in
+  check
+    Alcotest.(list string)
+    "fault-free store leaves the trace untouched"
+    (List.map Literal.to_string (Event_sched.trace_literals plain))
+    (List.map Literal.to_string (Event_sched.trace_literals stored));
+  checkb "salvages happened on the stored run"
+    (Wf_obs.Metrics.count stored.Event_sched.stats "store_salvages" > 0);
+  checkb "no entry was dropped without faults"
+    (Wf_obs.Metrics.count stored.Event_sched.stats "store_dropped_entries" = 0)
+
 let test_crashy_determinism () =
   let path = Filename.concat spec_dir "travel.wf" in
   let { Wf_lang.Elaborate.def; _ } = Wf_lang.Elaborate.load_file path in
@@ -522,6 +651,8 @@ let suite =
   [
     Alcotest.test_case "journal append/checkpoint/recover" `Quick
       test_journal_basics;
+    Alcotest.test_case "recover is idempotent across the checkpoint window"
+      `Quick test_recover_idempotent;
     Alcotest.test_case "crashed site drops deliveries; restart hooks run"
       `Quick test_crash_drops_and_restart;
     Alcotest.test_case "crash budget bounds prob-1.0 injection" `Quick
@@ -543,6 +674,10 @@ let suite =
       test_crash_conformance;
     Alcotest.test_case "crash probability 1.0 stress" `Slow
       test_crash_prob_one_stress;
+    Alcotest.test_case "specs x 20 seeds (storage faults on crash load)" `Slow
+      test_store_fault_conformance;
+    Alcotest.test_case "fault-free store is trace-transparent" `Quick
+      test_store_faultfree_matches_memory;
     Alcotest.test_case "crashy runs replay deterministically" `Quick
       test_crashy_determinism;
   ]
