@@ -9,11 +9,13 @@
      --crash     run only the crash-recovery overhead suite
      --check     run only the model-checker exploration suite
      --store     run only the durable-log overhead and salvage suite
+     --overload  run only the open-loop overload/flow-control suite
      --smoke     small configs and quotas (CI smoke job)
      --json [F]  write the selected suite's numbers to F (default
                  BENCH_CORE.json, BENCH_CRASH.json with --crash,
-                 BENCH_CHECK.json with --check, or BENCH_STORE.json
-                 with --store, in the current directory) *)
+                 BENCH_CHECK.json with --check, BENCH_STORE.json with
+                 --store, or BENCH_OVERLOAD.json with --overload, in
+                 the current directory) *)
 
 open Wf_core
 open Wf_tasks
@@ -801,7 +803,8 @@ let bench_param () =
           incr contended;
           state.(i) <- (if inside then (round + 1, false) else (round, true))
       | Param_sched.Parked -> ()
-      | Param_sched.Rejected -> failwith "unexpected rejection"
+      | Param_sched.Rejected | Param_sched.Busy _ ->
+          failwith "unexpected rejection"
     end
   done;
   Printf.printf
@@ -1288,6 +1291,395 @@ let write_core_json path ~smoke rows =
           (widest_rows rows)));
   close_out oc
 
+(* --- OVERLOAD: open-loop fleet arrivals against the admission gate ----------- *)
+
+(* A fleet of clients fires parametrized commit attempts at one
+   coordinator running the Param_sched engine over the chain family
+
+     ~c[x]  +  p[x] . c[x]
+
+   (per binding x, either the commit never happens or its prepare
+   precedes it).  A commit arrives as an admission-gated [attempt];
+   admitted, it parks awaiting its upstream prepare, which the
+   coordinator then fetches and injects with [occurred] — and the
+   prepare's fresh token makes the engine re-decide the whole parked
+   backlog.  Service is charged in virtual time proportional to the
+   decisions each input triggers (s0 + s1 * decides), so that sweep is
+   the congestion physics: without admission control every arrival the
+   server has not caught up with deepens the backlog, each prepare gets
+   slower, and goodput collapses quadratically; with the gate the
+   backlog is pinned at the shed watermark and saturated goodput holds.
+
+   Arrivals are open loop — Poisson or synchronized 64-source bursts —
+   at a multiple of the estimated saturated capacity.  Shed commits
+   retry with the verdict's backoff until admitted, so once arrivals
+   stop the run drains to quiescence and every binding must complete
+   exactly once (prepare before commit, nothing parked): the
+   exactly-once/dependency audit over the realized trace is part of the
+   bench's gates.  Goodput counts only completions inside the arrival
+   window, so late drained jobs do not flatter a saturated leg. *)
+
+type ov_event = Ov_arrive of int | Ov_retry of int | Ov_prepare of int
+
+(* Binary min-heap on (time, push order): equal-time events pop FIFO,
+   keeping runs deterministic. *)
+module Ov_heap = struct
+  type t = {
+    mutable a : (float * int * ov_event) array;
+    mutable n : int;
+    mutable seq : int;
+  }
+
+  let dummy = (0.0, 0, Ov_arrive (-1))
+  let create () = { a = Array.make 1024 dummy; n = 0; seq = 0 }
+
+  let before (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
+
+  let push h time ev =
+    if h.n = Array.length h.a then begin
+      let a' = Array.make (2 * h.n) dummy in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    h.a.(h.n) <- (time, h.seq, ev);
+    h.seq <- h.seq + 1;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    while !i > 0 && before h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let time, _, ev = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      let i = ref 0 in
+      let sifting = ref true in
+      while !sifting do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < h.n && before h.a.(l) h.a.(!m) then m := l;
+        if r < h.n && before h.a.(r) h.a.(!m) then m := r;
+        if !m = !i then sifting := false
+        else begin
+          let tmp = h.a.(!m) in
+          h.a.(!m) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !m
+        end
+      done;
+      Some (time, ev)
+    end
+end
+
+type ov_row = {
+  ov_family : string; (* "flow" | "noflow" *)
+  ov_arrival : string;
+  ov_load : float; (* offered / estimated capacity *)
+  ov_jobs : int;
+  ov_offered : float; (* realized arrivals per virtual time unit *)
+  ov_goodput : float; (* in-window completions per virtual time unit *)
+  ov_window : float;
+  ov_shed : int;
+  ov_probes : int;
+  ov_max_parked : int;
+  ov_in_window : int;
+  ov_drained : int;
+  ov_violations : int;
+}
+
+let ov_s0 = 1.0 (* fixed virtual service per engine input *)
+let ov_s1 = 0.04 (* virtual service per decision evaluation *)
+let ov_watermark = 10
+
+let ov_flow_config =
+  {
+    Flow.default_config with
+    shed_watermark = ov_watermark;
+    retry_base = 1.0;
+    retry_backoff = 2.0;
+    retry_max = 64.0;
+    probe_every = 256;
+  }
+
+(* Saturated-regime capacity estimate: a prepare/commit pair costs two
+   fixed quanta plus the prepare's sweep over a backlog pinned at the
+   watermark (each sweep re-decides the parked set twice: once to admit
+   the unblocked commit, once to confirm no further progress). *)
+let ov_capacity =
+  1.0
+  /. ((2.0 *. ov_s0) +. (ov_s1 *. (2.0 +. (2.0 *. float_of_int ov_watermark))))
+
+let ov_template =
+  Ptemplate.choice_all
+    [
+      Ptemplate.atom ~pol:Literal.Neg "c" [ Ptemplate.Var "x" ];
+      Ptemplate.seq
+        (Ptemplate.atom "p" [ Ptemplate.Var "x" ])
+        (Ptemplate.atom "c" [ Ptemplate.Var "x" ]);
+    ]
+
+let ov_run ~flow ~arrival ~load ~jobs ~seed =
+  let rng = Wf_sim.Rng.create seed in
+  let offered = load *. ov_capacity in
+  let arrivals = Array.make jobs 0.0 in
+  (match arrival with
+  | Flow.Poisson ->
+      let t = ref 0.0 in
+      for j = 0 to jobs - 1 do
+        t :=
+          !t
+          +. Flow.arrival_delay Flow.Poisson ~rng ~now:!t
+               ~mean:(1.0 /. offered);
+        arrivals.(j) <- !t
+      done
+  | Flow.Burst ->
+      (* [sources] synchronized open-loop sources, each firing once per
+         batch period, together offering the same aggregate rate. *)
+      let sources = 64 in
+      let mean = float_of_int sources /. (4.0 *. offered) in
+      let src_now = Array.make sources 0.0 in
+      for j = 0 to jobs - 1 do
+        let s = j mod sources in
+        src_now.(s) <-
+          src_now.(s)
+          +. Flow.arrival_delay Flow.Burst ~rng ~now:src_now.(s) ~mean;
+        arrivals.(j) <- src_now.(s)
+      done;
+      Array.sort compare arrivals);
+  let eng =
+    Param_sched.create
+      ?flow:(if flow then Some ov_flow_config else None)
+      ~store_seed:seed [ ov_template ]
+  in
+  let heap = Ov_heap.create () in
+  Array.iteri (fun j t -> Ov_heap.push heap t (Ov_arrive j)) arrivals;
+  let sym b j = Symbol.parametrized b [ string_of_int j ] in
+  let free_at = ref 0.0 in
+  let done_at = Array.make jobs nan in
+  let drained = ref 0 in
+  let max_parked = ref 0 in
+  let charge now w0 =
+    let dw = Param_sched.work eng - w0 in
+    free_at := Float.max now !free_at +. ov_s0 +. (ov_s1 *. float_of_int dw)
+  in
+  let complete j =
+    done_at.(j) <- !free_at;
+    incr drained
+  in
+  let commit j now =
+    let w0 = Param_sched.work eng in
+    match Param_sched.attempt eng (sym "c" j) with
+    | Param_sched.Busy { retry_after } ->
+        (* shed at the gate: no server time spent, caller owns the timer *)
+        Ov_heap.push heap (now +. retry_after) (Ov_retry j)
+    | Param_sched.Parked ->
+        charge now w0;
+        let depth = List.length (Param_sched.parked eng) in
+        if depth > !max_parked then max_parked := depth;
+        Ov_heap.push heap !free_at (Ov_prepare j)
+    | Param_sched.Accepted | Param_sched.Already ->
+        charge now w0;
+        complete j
+    | Param_sched.Rejected -> failwith "overload: commit rejected"
+  in
+  let prepare j now =
+    let w0 = Param_sched.work eng in
+    Param_sched.occurred eng (Literal.pos (sym "p" j));
+    charge now w0;
+    complete j
+  in
+  let running = ref true in
+  while !running do
+    match Ov_heap.pop heap with
+    | None -> running := false
+    | Some (now, (Ov_arrive j | Ov_retry j)) -> commit j now
+    | Some (now, Ov_prepare j) -> prepare j now
+  done;
+  let stats = Param_sched.stats eng in
+  let last = arrivals.(jobs - 1) in
+  let in_window = ref 0 in
+  Array.iter (fun t -> if t <= last then incr in_window) done_at;
+  (* exactly-once / dependency audit over the realized trace *)
+  let violations = ref 0 in
+  if Param_sched.parked eng <> [] then incr violations;
+  let pos = Hashtbl.create (4 * jobs) in
+  List.iteri
+    (fun i (l : Literal.t) ->
+      let name = Symbol.name (Literal.symbol l) in
+      if Hashtbl.mem pos name then incr violations (* duplicate token *)
+      else Hashtbl.add pos name i)
+    (Param_sched.trace eng);
+  for j = 0 to jobs - 1 do
+    match
+      ( Hashtbl.find_opt pos (Symbol.name (sym "p" j)),
+        Hashtbl.find_opt pos (Symbol.name (sym "c" j)) )
+    with
+    | Some ip, Some ic when ip < ic -> ()
+    | _ -> incr violations
+  done;
+  {
+    ov_family = (if flow then "flow" else "noflow");
+    ov_arrival = Flow.arrival_to_string arrival;
+    ov_load = load;
+    ov_jobs = jobs;
+    ov_offered = float_of_int jobs /. last;
+    ov_goodput = float_of_int !in_window /. last;
+    ov_window = last;
+    ov_shed = Wf_obs.Metrics.count stats "flow_shed";
+    ov_probes = Wf_obs.Metrics.count stats "flow_probe_admits";
+    ov_max_parked = !max_parked;
+    ov_in_window = !in_window;
+    ov_drained = !drained;
+    ov_violations = !violations;
+  }
+
+type ov_gates = {
+  g_flow_ratios : (string * float) list; (* per arrival kind, at 2x *)
+  g_flow_ok : bool;
+  g_parked_ok : bool;
+  g_drain_ok : bool;
+  g_collapse_ratio : float; (* noflow 2x goodput / flow poisson 2x *)
+  g_collapse_ok : bool;
+}
+
+let ov_gate_rows rows =
+  let fam f = List.filter (fun r -> r.ov_family = f) rows in
+  let at2 = List.filter (fun r -> r.ov_load >= 1.99) in
+  let peak rs = List.fold_left (fun m r -> Float.max m r.ov_goodput) 0.0 rs in
+  let flow = fam "flow" and base = fam "noflow" in
+  let flow_ratios =
+    List.map
+      (fun r ->
+        let family_peak =
+          peak (List.filter (fun x -> x.ov_arrival = r.ov_arrival) flow)
+        in
+        (r.ov_arrival, r.ov_goodput /. family_peak))
+      (at2 flow)
+  in
+  let flow_ok =
+    flow_ratios <> [] && List.for_all (fun (_, x) -> x >= 0.8) flow_ratios
+  in
+  let parked_ok =
+    List.for_all (fun r -> r.ov_max_parked <= ov_watermark + r.ov_probes) flow
+  in
+  let drain_ok =
+    List.for_all
+      (fun r -> r.ov_violations = 0 && r.ov_drained = r.ov_jobs)
+      rows
+  in
+  let flow2 =
+    match List.filter (fun r -> r.ov_arrival = "poisson") (at2 flow) with
+    | r :: _ -> r.ov_goodput
+    | [] -> nan
+  in
+  let base2 = match at2 base with r :: _ -> r.ov_goodput | [] -> nan in
+  let collapse_ratio = base2 /. flow2 in
+  {
+    g_flow_ratios = flow_ratios;
+    g_flow_ok = flow_ok;
+    g_parked_ok = parked_ok;
+    g_drain_ok = drain_ok;
+    g_collapse_ratio = collapse_ratio;
+    g_collapse_ok = collapse_ratio < 0.6;
+  }
+
+let ov_all_ok g = g.g_flow_ok && g.g_parked_ok && g.g_drain_ok && g.g_collapse_ok
+
+let bench_overload ~smoke () =
+  section "OVERLOAD"
+    "Open-loop fleet arrivals: admission gate vs unbounded backlog";
+  let flow_jobs = if smoke then 2000 else 10_000 in
+  let base_jobs = if smoke then 300 else 1200 in
+  let loads = [ 0.5; 0.9; 2.0 ] in
+  Printf.printf
+    "capacity estimate %.3f pairs per virtual time unit; baseline runs \
+     fewer jobs because its collapse is quadratic in real CPU too\n"
+    ov_capacity;
+  Printf.printf "%-8s %-8s %5s %7s %9s %9s %8s %7s %7s %7s %5s\n" "family"
+    "arrival" "load" "jobs" "offered" "goodput" "shed" "probes" "maxprk"
+    "drain" "viol";
+  let rows = ref [] in
+  let leg i ~flow ~arrival ~load ~jobs =
+    let seed = Int64.of_int (0x0F10AD + (37 * i)) in
+    let r = ov_run ~flow ~arrival ~load ~jobs ~seed in
+    Printf.printf "%-8s %-8s %5.1f %7d %9.3f %9.3f %8d %7d %7d %7d %5d\n%!"
+      r.ov_family r.ov_arrival r.ov_load r.ov_jobs r.ov_offered r.ov_goodput
+      r.ov_shed r.ov_probes r.ov_max_parked r.ov_drained r.ov_violations;
+    rows := r :: !rows
+  in
+  List.iteri
+    (fun i load ->
+      leg i ~flow:true ~arrival:Flow.Poisson ~load ~jobs:flow_jobs)
+    loads;
+  List.iteri
+    (fun i load ->
+      leg (10 + i) ~flow:true ~arrival:Flow.Burst ~load ~jobs:flow_jobs)
+    loads;
+  List.iteri
+    (fun i load ->
+      leg (20 + i) ~flow:false ~arrival:Flow.Poisson ~load ~jobs:base_jobs)
+    loads;
+  let rows = List.rev !rows in
+  let g = ov_gate_rows rows in
+  List.iter
+    (fun (arr, x) ->
+      Printf.printf "flow %s 2x goodput ratio: %.2f (gate: >= 0.80)\n" arr x)
+    g.g_flow_ratios;
+  Printf.printf
+    "parked bounded by watermark + probes: %b; drains clean: %b\n"
+    g.g_parked_ok g.g_drain_ok;
+  Printf.printf "baseline 2x goodput vs flow 2x: %.2f (gate: < 0.60)\n"
+    g.g_collapse_ratio;
+  Printf.printf "overload gates %s\n%!"
+    (if ov_all_ok g then "PASS" else "FAIL");
+  rows
+
+let write_overload_json path ~smoke rows =
+  let g = ov_gate_rows rows in
+  let ov_js x = if Float.is_nan x then "null" else Printf.sprintf "%.4f" x in
+  let oc = open_out path in
+  let row_json r =
+    Printf.sprintf
+      "{\"family\": \"%s\", \"arrival\": \"%s\", \"load\": %.2f, \"jobs\": \
+       %d, \"offered\": %s, \"goodput\": %s, \"window\": %s, \"shed\": %d, \
+       \"probe_admits\": %d, \"max_parked\": %d, \"completed_in_window\": \
+       %d, \"drained\": %d, \"violations\": %d}"
+      r.ov_family r.ov_arrival r.ov_load r.ov_jobs (ov_js r.ov_offered)
+      (ov_js r.ov_goodput) (ov_js r.ov_window) r.ov_shed r.ov_probes
+      r.ov_max_parked r.ov_in_window r.ov_drained r.ov_violations
+  in
+  Printf.fprintf oc
+    "{\n  \"suite\": \"overload\",\n  \"mode\": \"%s\",\n"
+    (if smoke then "smoke" else "full");
+  Printf.fprintf oc
+    "  \"config\": {\"s0\": %.2f, \"s1\": %.2f, \"shed_watermark\": %d, \
+     \"probe_every\": %d, \"retry_base\": %.1f, \"retry_max\": %.1f, \
+     \"capacity_est\": %.4f},\n"
+    ov_s0 ov_s1 ov_watermark ov_flow_config.Flow.probe_every
+    ov_flow_config.Flow.retry_base ov_flow_config.Flow.retry_max ov_capacity;
+  Printf.fprintf oc "  \"legs\": [\n    %s\n  ],\n"
+    (String.concat ",\n    " (List.map row_json rows));
+  Printf.fprintf oc
+    "  \"gates\": {\n    \"flow_2x_ratios\": {%s},\n    \
+     \"flow_goodput_ok\": %b,\n    \"parked_bounded_ok\": %b,\n    \
+     \"drain_clean_ok\": %b,\n    \"collapse_ratio\": %s,\n    \
+     \"baseline_collapses_ok\": %b,\n    \"ok\": %b\n  }\n}\n"
+    (String.concat ", "
+       (List.map
+          (fun (arr, x) -> Printf.sprintf "\"%s\": %s" arr (ov_js x))
+          g.g_flow_ratios))
+    g.g_flow_ok g.g_parked_ok g.g_drain_ok
+    (ov_js g.g_collapse_ratio)
+    g.g_collapse_ok (ov_all_ok g);
+  close_out oc
+
 (* --- main --------------------------------------------------------------------- *)
 
 let () =
@@ -1297,6 +1689,7 @@ let () =
   let crash_only = List.mem "--crash" args in
   let check_only = List.mem "--check" args in
   let store_only = List.mem "--store" args in
+  let overload_only = List.mem "--overload" args in
   let json_path =
     let rec find = function
       | "--json" :: next :: _ when String.length next > 0 && next.[0] <> '-' ->
@@ -1316,6 +1709,17 @@ let () =
     | Some path ->
         let path = if path = "BENCH_CORE.json" then "BENCH_STORE.json" else path in
         write_store_json path ~smoke r;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  end
+  else if overload_only then begin
+    let rows = bench_overload ~smoke () in
+    match json_path with
+    | Some path ->
+        let path =
+          if path = "BENCH_CORE.json" then "BENCH_OVERLOAD.json" else path
+        in
+        write_overload_json path ~smoke rows;
         Printf.printf "wrote %s\n" path
     | None -> ()
   end

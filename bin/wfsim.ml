@@ -43,10 +43,10 @@ let write_trace_files trace_file chrome_file records =
       with_out path (fun oc -> Wf_obs.Trace.write_chrome oc records);
       Format.printf "wrote chrome trace to %s@." path
 
-let run_parametrized seed def templates tracer collector trace_file chrome_file
-    =
+let run_parametrized seed flow def templates tracer collector trace_file
+    chrome_file =
   let r =
-    Param_driver.run ~seed:(Int64.of_int seed) ?tracer
+    Param_driver.run ~seed:(Int64.of_int seed) ?tracer ?flow
       ~templates:(List.map snd templates)
       def
   in
@@ -101,7 +101,8 @@ let run path scheduler seed latency jitter think verbose check_gen no_gtable
     drop_rate duplicate_rate reorder_rate reorder_window partition_specs
     crash_prob crash_on_send restart_delay max_crashes checkpoint_every
     store store_torn store_lost_tail store_bit_flip store_ckpt_corrupt
-    store_max_faults trace_file chrome_file metrics_json validate =
+    store_max_faults mailbox_cap credit_window shed_watermark arrival_s
+    trace_file chrome_file metrics_json validate =
   Gtable.set_enabled (not no_gtable);
   match validate with
   | Some trace_path -> exit (validate_trace trace_path)
@@ -111,6 +112,31 @@ let run path scheduler seed latency jitter think verbose check_gen no_gtable
     | Some p -> p
     | None ->
         prerr_endline "wfsim: a SPEC.wf argument is required (or --validate-trace)";
+        exit 2
+  in
+  (* Flow control is on iff any of its knobs was given; unset knobs
+     keep the Flow defaults. *)
+  let flow =
+    match (mailbox_cap, credit_window, shed_watermark) with
+    | None, None, None -> None
+    | _ ->
+        let d = Flow.default_config in
+        Some
+          {
+            d with
+            Flow.mailbox_cap = Option.value mailbox_cap ~default:d.Flow.mailbox_cap;
+            credit_window = Option.value credit_window ~default:d.Flow.credit_window;
+            shed_watermark =
+              Option.value shed_watermark ~default:d.Flow.shed_watermark;
+          }
+  in
+  let arrival =
+    match Flow.arrival_of_string arrival_s with
+    | Some a -> a
+    | None ->
+        prerr_endline
+          ("wfsim: unknown arrival process " ^ arrival_s
+         ^ " (expected poisson or burst)");
         exit 2
   in
   let { Wf_lang.Elaborate.def; templates } = Wf_lang.Elaborate.load_file path in
@@ -125,7 +151,7 @@ let run path scheduler seed latency jitter think verbose check_gen no_gtable
       Format.printf
         "note: mixing ground and parametrized dependencies; running only the parametrized engine@.";
     exit
-      (run_parametrized seed def templates tracer collector trace_file
+      (run_parametrized seed flow def templates tracer collector trace_file
          chrome_file)
   end;
   let faults =
@@ -173,6 +199,8 @@ let run path scheduler seed latency jitter think verbose check_gen no_gtable
               faults;
               store;
               tracer;
+              flow;
+              arrival;
             }
           def
     | "central" ->
@@ -188,6 +216,8 @@ let run path scheduler seed latency jitter think verbose check_gen no_gtable
               faults;
               store;
               tracer;
+              flow;
+              arrival;
             }
           def
     | s ->
@@ -289,6 +319,22 @@ let store_max_faults =
   Arg.(value & opt int 2 & info [ "store-max-faults" ] ~docv:"N"
          ~doc:"Lifetime storage-fault budget per journal medium (default 2).")
 
+let mailbox_cap =
+  Arg.(value & opt (some int) None & info [ "mailbox-cap" ] ~docv:"N"
+         ~doc:"Enable credit-based flow control with a bound of N messages on every receiver's inbound mailbox (arrivals beyond it are refused unacknowledged and retransmitted). Giving any $(b,--mailbox-cap), $(b,--credit-window), or $(b,--shed-watermark) turns flow control on; unset knobs keep their defaults (64/16/48).")
+
+let credit_window =
+  Arg.(value & opt (some int) None & info [ "credit-window" ] ~docv:"N"
+         ~doc:"Per (sender, receiver) credit window: a sender stops transmitting data to a receiver after N unconsumed messages until credits are granted back. Implies flow control.")
+
+let shed_watermark =
+  Arg.(value & opt (some int) None & info [ "shed-watermark" ] ~docv:"N"
+         ~doc:"Admission-control high-watermark: attempts arriving while the local queue depth is at or above N are shed with a seeded-backoff retry ($(b,flow_shed) counter, Shed trace records). Implies flow control.")
+
+let arrival =
+  Arg.(value & opt string "poisson" & info [ "arrival" ] ~docv:"KIND"
+         ~doc:"Agent attempt arrival process: $(b,poisson) (exponential inter-arrival, the default) or $(b,burst) (all agents fire in synchronized batches of the same mean rate — the adversarial shape for flow control).")
+
 let trace_file =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Write the structured trace (send/deliver/drop/crash, channel retransmits/acks/epochs, guard-assimilation outcomes) as JSONL, one record per line.")
@@ -313,7 +359,8 @@ let cmd =
           $ reorder_rate $ reorder_window $ partitions $ crash_prob
           $ crash_on_send $ restart_delay $ max_crashes $ checkpoint_every
           $ store $ store_torn $ store_lost_tail $ store_bit_flip
-          $ store_ckpt_corrupt $ store_max_faults $ trace_file $ chrome_file
-          $ metrics_json $ validate)
+          $ store_ckpt_corrupt $ store_max_faults $ mailbox_cap
+          $ credit_window $ shed_watermark $ arrival $ trace_file
+          $ chrome_file $ metrics_json $ validate)
 
 let () = exit (Cmd.eval' cmd)

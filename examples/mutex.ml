@@ -56,7 +56,7 @@ let () =
           end
           else t.inside <- true
       | Param_sched.Parked -> ()
-      | Param_sched.Rejected -> assert false
+      | Param_sched.Rejected | Param_sched.Busy _ -> assert false
     end
   in
   let total_steps = ref 0 in

@@ -15,6 +15,9 @@ type kind =
   | Assim of { outcome : outcome; guard : int }
   | Store_fault of { fault : string }
   | Store_salvage of { kept : int; dropped : int; fallback : bool }
+  | Shed of { depth : int; retry_after : float }
+  | Credit of { peer : int; grant : int; reset : bool }
+  | Dead_letter of { dst : int; tries : int }
 
 type record = {
   time : float;
@@ -57,6 +60,9 @@ let kind_name r =
   | Assim _ -> "assim"
   | Store_fault _ -> "store_fault"
   | Store_salvage _ -> "store_salvage"
+  | Shed _ -> "shed"
+  | Credit _ -> "credit"
+  | Dead_letter _ -> "dead_letter"
 
 let reason_name = function
   | Link -> "link"
@@ -109,7 +115,17 @@ let line_of r =
   | Store_salvage { kept; dropped; fallback } ->
       field "\"kept\"" (string_of_int kept);
       field "\"dropped\"" (string_of_int dropped);
-      field "\"fallback\"" (if fallback then "true" else "false"));
+      field "\"fallback\"" (if fallback then "true" else "false")
+  | Shed { depth; retry_after } ->
+      field "\"depth\"" (string_of_int depth);
+      field "\"retry_after\"" (Json.float_str retry_after)
+  | Credit { peer; grant; reset } ->
+      field "\"peer\"" (string_of_int peer);
+      field "\"grant\"" (string_of_int grant);
+      field "\"reset\"" (if reset then "true" else "false")
+  | Dead_letter { dst; tries } ->
+      field "\"dst\"" (string_of_int dst);
+      field "\"tries\"" (string_of_int tries));
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -123,9 +139,10 @@ let write_jsonl oc records =
 let chrome_category r =
   match r.kind with
   | Send _ | Deliver _ | Drop _ | Crash | Restart -> "netsim"
-  | Retransmit _ | Give_up _ | Ack _ | Epoch_bump -> "channel"
+  | Retransmit _ | Give_up _ | Ack _ | Epoch_bump | Dead_letter _ -> "channel"
   | Assim _ -> "sched"
   | Store_fault _ | Store_salvage _ -> "store"
+  | Shed _ | Credit _ -> "flow"
 
 let write_chrome oc records =
   output_string oc "{\"traceEvents\":[";
@@ -167,6 +184,19 @@ let write_chrome oc records =
                 kv "dropped" (string_of_int dropped);
                 kv "fallback" (if fallback then "true" else "false");
               ]
+          | Shed { depth; retry_after } ->
+              [
+                kv "depth" (string_of_int depth);
+                kv "retry_after" (Json.float_str retry_after);
+              ]
+          | Credit { peer; grant; reset } ->
+              [
+                kv "peer" (string_of_int peer);
+                kv "grant" (string_of_int grant);
+                kv "reset" (if reset then "true" else "false");
+              ]
+          | Dead_letter { dst; tries } ->
+              [ kv "dst" (string_of_int dst); kv "tries" (string_of_int tries) ]
           | Crash | Restart | Epoch_bump -> []
         in
         String.concat "," (base @ extra)
@@ -297,6 +327,26 @@ let parse_line line =
             let* dropped = int_field "dropped" in
             let* fallback = bool_field "fallback" in
             Ok (Store_salvage { kept; dropped; fallback })
+        | "shed" ->
+            let* depth = int_field "depth" in
+            let* retry_after =
+              match Json.member "retry_after" json with
+              | Some v -> (
+                  match Json.to_float v with
+                  | Some f -> Ok f
+                  | None -> Error "field \"retry_after\" is not a number")
+              | None -> Error "missing field \"retry_after\""
+            in
+            Ok (Shed { depth; retry_after })
+        | "credit" ->
+            let* peer = int_field "peer" in
+            let* grant = int_field "grant" in
+            let* reset = bool_field "reset" in
+            Ok (Credit { peer; grant; reset })
+        | "dead_letter" ->
+            let* dst = int_field "dst" in
+            let* tries = int_field "tries" in
+            Ok (Dead_letter { dst; tries })
         | s -> Error (Printf.sprintf "unknown kind %S" s)
       in
       Ok { time; site; actor; epoch; mid; kind })

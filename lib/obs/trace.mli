@@ -51,6 +51,18 @@ type kind =
           verified, [dropped] bytes discarded past the verifiable
           prefix, [fallback] true when the latest checkpoint was
           unusable and recovery fell back to an earlier one. *)
+  | Shed of { depth : int; retry_after : float }
+      (** The admission controller refused an attempt because local
+          queue depth crossed the shed watermark; the agent retries
+          after [retry_after] of simulated time (seeded backoff). *)
+  | Credit of { peer : int; grant : int; reset : bool }
+      (** The record's site granted [grant] send credits to [peer];
+          [reset] when the grant re-announces a full window after an
+          epoch bump instead of topping up incrementally. *)
+  | Dead_letter of { dst : int; tries : int }
+      (** The channel parked a message for [dst] in the dead-letter
+          buffer after [tries] retransmissions ([max_retries] reached);
+          one record per [chan_gave_up] increment. *)
 
 type record = {
   time : float;
@@ -83,7 +95,7 @@ val kind_name : record -> string
 (** The wire name of the record's kind: ["send"], ["deliver"],
     ["drop"], ["crash"], ["restart"], ["retransmit"], ["give_up"],
     ["ack"], ["epoch_bump"], ["assim"], ["store_fault"],
-    ["store_salvage"]. *)
+    ["store_salvage"], ["shed"], ["credit"], ["dead_letter"]. *)
 
 val outcome_name : outcome -> string
 

@@ -11,6 +11,8 @@ type config = {
   faults : Wf_sim.Netsim.fault_config;
   store : Wf_store.Media.Sim.fault_config option;
   tracer : Wf_obs.Trace.sink option;
+  flow : Flow.config option;
+  arrival : Flow.arrival;
 }
 
 let default_config =
@@ -24,6 +26,8 @@ let default_config =
     faults = Wf_sim.Netsim.no_faults;
     store = None;
     tracer = None;
+    flow = None;
+    arrival = Flow.Poisson;
   }
 
 type msg =
@@ -447,26 +451,49 @@ let rec schedule_agent rt agent =
   | Some (sym, attr) ->
       Agent.begin_attempt agent sym;
       let delay =
-        Wf_sim.Rng.exponential (Wf_sim.Netsim.rng rt.net) ~mean:rt.cfg.think_time
+        Flow.arrival_delay rt.cfg.arrival
+          ~rng:(Wf_sim.Netsim.rng rt.net)
+          ~now:(Wf_sim.Netsim.now rt.net)
+          ~mean:rt.cfg.think_time
       in
       let site = Hashtbl.find rt.agent_site (Agent.instance agent) in
+      let attempt_body () =
+        Wf_obs.Metrics.incr (stats rt) "attempts";
+        let m =
+          if attr.Attribute.controllable then
+            Attempt (Literal.pos sym, Agent.would_make_unreachable agent sym)
+          else Occurred (Literal.pos sym)
+        in
+        Channel.send rt.chan ~src:site ~dst:central_site m;
+        if not attr.Attribute.controllable then begin
+          (* Uncontrollable events take effect at the task at once. *)
+          let complements = Agent.on_accepted agent sym in
+          List.iter
+            (fun c ->
+              Channel.send rt.chan ~src:site ~dst:central_site (Occurred c))
+            complements;
+          schedule_agent rt agent
+        end
+      in
+      (* Admission gate: the congested resource is the center, so the
+         verdict keys on the central site's depth, while the shed
+         streak and trace record stay with the attempting site. *)
+      let rec admitted_thunk first () =
+        match Channel.flow rt.chan with
+        | None -> attempt_body ()
+        | Some fl -> (
+            match
+              Flow.admit fl ~site ~actor:(Symbol.name sym)
+                ~depth:(Flow.depth fl ~site:central_site)
+                ~first ()
+            with
+            | Flow.Admitted -> attempt_body ()
+            | Flow.Busy { retry_after } ->
+                Wf_sim.Netsim.schedule rt.net ~delay:retry_after
+                  (admitted_thunk first))
+      in
       Wf_sim.Netsim.schedule rt.net ~delay (fun () ->
-          Wf_obs.Metrics.incr (stats rt) "attempts";
-          let m =
-            if attr.Attribute.controllable then
-              Attempt (Literal.pos sym, Agent.would_make_unreachable agent sym)
-            else Occurred (Literal.pos sym)
-          in
-          Channel.send rt.chan ~src:site ~dst:central_site m;
-          if not attr.Attribute.controllable then begin
-            (* Uncontrollable events take effect at the task at once. *)
-            let complements = Agent.on_accepted agent sym in
-            List.iter
-              (fun c ->
-                Channel.send rt.chan ~src:site ~dst:central_site (Occurred c))
-              complements;
-            schedule_agent rt agent
-          end)
+          admitted_thunk (Wf_sim.Netsim.now rt.net) ())
 
 let agent_handle rt agent m =
   match m with
@@ -509,7 +536,7 @@ let run ?(config = default_config) wf =
   let chan =
     Channel.create
       ~rto:(3.0 *. (config.base_latency +. config.jitter) +. 0.5)
-      net
+      ?flow:config.flow net
   in
   let media =
     match config.store with

@@ -46,6 +46,15 @@ type config = {
           [Assim] records for accept/park/reject decisions with a
           fingerprint of the joint residual-automaton state as the
           guard id, silent during journal replay *)
+  flow : Flow.config option;
+      (** credit-based flow control and admission control (default
+          [None] = historical unbounded behavior).  The congested
+          resource is the center: admission verdicts key on site 0's
+          local queue depth, so agents across the fleet shed attempts
+          with seeded-backoff retries when the center saturates.
+          See {!Flow}. *)
+  arrival : Flow.arrival;
+      (** agent attempt arrival process (default {!Flow.Poisson}) *)
 }
 
 val default_config : config

@@ -4,9 +4,10 @@ module Trace = Wf_obs.Trace
 type site = Wf_sim.Netsim.site
 
 type 'a wire =
-  | Data of { mid : int; epoch : int; origin : site; payload : 'a }
+  | Data of { mid : int; epoch : int; origin : site; prio : bool; payload : 'a }
   | Ack of { mid : int; epoch : int }
   | Hello of { origin : site; epoch : int }
+  | Credit of { grant : int; reset : bool }
 
 (* A message id is unique only within one (origin, epoch): mid counters
    are volatile and restart from 0 after a crash, so the dedup and ack
@@ -19,8 +20,10 @@ type 'a pending = {
   p_epoch : int; (* sender epoch at first send; stable across revives *)
   p_mid : int;
   p_payload : 'a;
+  p_prio : bool;
   p_first_sent : float;
   mutable p_tries : int;
+  mutable p_sent : bool; (* false while credit-blocked in the backlog *)
 }
 
 type 'a t = {
@@ -34,7 +37,12 @@ type 'a t = {
       (* the channel's own stream (split off the network's at creation)
          so jitter draws do not perturb latency/fault randomness *)
   pending : (key, 'a pending) Hashtbl.t; (* durable sender outbox *)
-  seen : (key, unit) Hashtbl.t; (* durable receiver-side dedup *)
+  seen : (key, unit) Hashtbl.t; (* receiver dedup above the watermark *)
+  seen_floor : (site * int, int ref) Hashtbl.t;
+      (* Cumulative dedup watermark per (origin, epoch): every mid at or
+         below the floor has been delivered, so its [seen] entry can be
+         pruned — mids are assigned densely, so a long fault-free run
+         keeps O(reorder window) entries instead of O(messages). *)
   dead : (key, 'a pending) Hashtbl.t; (* gave up; revived on peer Hello *)
   epochs : int array; (* durable: bumped on every restart *)
   mids : int array; (* volatile: reset to 0 on restart *)
@@ -46,6 +54,15 @@ type 'a t = {
          config can crash sites, same-site traffic needs the
          retransmission machinery too or a local handoff lost in a
          crash window is lost forever. *)
+  flow : Flow.t option;
+  blocked : (site * site, (key * float) Queue.t) Hashtbl.t;
+      (* sends awaiting credit, FIFO per (src, dst), with block time *)
+  stall_on : (site * site, unit) Hashtbl.t; (* active stall checkers *)
+  mbox : (site, (site * key * 'a * float) Queue.t) Hashtbl.t;
+      (* receiver inbound mailbox: (wire src, key, payload, enqueued) *)
+  mbox_keys : (key, unit) Hashtbl.t; (* queued-not-yet-consumed dedup *)
+  draining : bool array;
+  handlers : (site, site -> 'a -> unit) Hashtbl.t;
 }
 
 let default_backoff = 2.0
@@ -55,6 +72,48 @@ let stats t = Wf_sim.Netsim.stats t.net
 let unacked t = Hashtbl.length t.pending
 let dead_letters t = Hashtbl.length t.dead
 let epoch t site = t.epochs.(site)
+let flow t = t.flow
+let dedup_size t = Hashtbl.length t.seen
+
+let now t = Wf_sim.Netsim.now t.net
+
+let emit_trace t r =
+  match Wf_sim.Netsim.tracer t.net with
+  | None -> ()
+  | Some sink -> Trace.emit sink r
+
+(* --- receiver dedup with cumulative watermark ---------------------------- *)
+
+let floor_ref t origin epoch =
+  match Hashtbl.find_opt t.seen_floor (origin, epoch) with
+  | Some r -> r
+  | None ->
+      let r = ref (-1) in
+      Hashtbl.replace t.seen_floor (origin, epoch) r;
+      r
+
+let is_seen t ((origin, epoch, mid) : key) =
+  mid <= !(floor_ref t origin epoch) || Hashtbl.mem t.seen (origin, epoch, mid)
+
+(* Mark delivered and advance the watermark over any now-contiguous
+   prefix, pruning the entries it covers.  The [seen] table is shared
+   by every site of the simulation and each delivery lands here, so
+   the per-(origin, epoch) mid sequence observed across all receivers
+   is dense and the floor keeps up with the send counter. *)
+let mark_seen t ((origin, epoch, mid) as key : key) =
+  let fl = floor_ref t origin epoch in
+  if mid > !fl then begin
+    Hashtbl.replace t.seen key ();
+    let rec advance () =
+      let next : key = (origin, epoch, !fl + 1) in
+      if Hashtbl.mem t.seen next then begin
+        Hashtbl.remove t.seen next;
+        incr fl;
+        advance ()
+      end
+    in
+    advance ()
+  end
 
 (* Exponential backoff with deterministic jitter: the base delay is
    scaled by a factor uniform in [1-j, 1+j] drawn from the channel's
@@ -70,7 +129,15 @@ let rto_after t tries =
 
 let key_of p : key = (p.p_src, p.p_epoch, p.p_mid)
 
-let wire_of p = Data { mid = p.p_mid; epoch = p.p_epoch; origin = p.p_src; payload = p.p_payload }
+let wire_of p =
+  Data
+    {
+      mid = p.p_mid;
+      epoch = p.p_epoch;
+      origin = p.p_src;
+      prio = p.p_prio;
+      payload = p.p_payload;
+    }
 
 let rec retransmit t key () =
   match Hashtbl.find_opt t.pending key with
@@ -82,38 +149,93 @@ let rec retransmit t key () =
            crashed, its restart Hello revives the transfer. *)
         Hashtbl.replace t.dead key p;
         Metrics.incr (stats t) "chan_gave_up";
-        match Wf_sim.Netsim.tracer t.net with
-        | None -> ()
-        | Some sink ->
-            Trace.emit sink
-              (Trace.make
-                 ~time:(Wf_sim.Netsim.now t.net)
-                 ~site:p.p_src ~epoch:p.p_epoch ~mid:p.p_mid
-                 (Trace.Give_up { dst = p.p_dst }))
+        emit_trace t
+          (Trace.make ~time:(now t) ~site:p.p_src ~epoch:p.p_epoch ~mid:p.p_mid
+             (Trace.Give_up { dst = p.p_dst }));
+        emit_trace t
+          (Trace.make ~time:(now t) ~site:p.p_src ~epoch:p.p_epoch ~mid:p.p_mid
+             (Trace.Dead_letter { dst = p.p_dst; tries = p.p_tries }))
       end
       else begin
         p.p_tries <- p.p_tries + 1;
         Metrics.incr (stats t) "chan_retransmits";
-        (match Wf_sim.Netsim.tracer t.net with
-        | None -> ()
-        | Some sink ->
-            Trace.emit sink
-              (Trace.make
-                 ~time:(Wf_sim.Netsim.now t.net)
-                 ~site:p.p_src ~epoch:p.p_epoch ~mid:p.p_mid
-                 (Trace.Retransmit { dst = p.p_dst; tries = p.p_tries })));
+        emit_trace t
+          (Trace.make ~time:(now t) ~site:p.p_src ~epoch:p.p_epoch ~mid:p.p_mid
+             (Trace.Retransmit { dst = p.p_dst; tries = p.p_tries }));
         Wf_sim.Netsim.send t.net ~src:p.p_src ~dst:p.p_dst (wire_of p);
         Wf_sim.Netsim.schedule t.net ~delay:(rto_after t p.p_tries)
           (retransmit t key)
       end
 
-let send t ~src ~dst payload =
+(* First transmission of a pending entry (possibly after waiting in the
+   credit backlog): put it on the wire and start the retransmit timer. *)
+let transmit t p =
+  p.p_sent <- true;
+  Wf_sim.Netsim.send t.net ~src:p.p_src ~dst:p.p_dst (wire_of p);
+  Wf_sim.Netsim.schedule t.net ~delay:(rto_after t 0) (retransmit t (key_of p))
+
+let blocked_queue t ~src ~dst =
+  match Hashtbl.find_opt t.blocked (src, dst) with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.blocked (src, dst) q;
+      q
+
+(* Transmit as many credit-blocked sends src -> dst as the window now
+   allows, oldest first. *)
+let drain_blocked t flow ~src ~dst =
+  let q = blocked_queue t ~src ~dst in
+  let continue = ref true in
+  while !continue && not (Queue.is_empty q) do
+    if Flow.try_acquire flow ~src ~dst then begin
+      let key, _since = Queue.pop q in
+      Flow.note_unblocked flow ~src;
+      match Hashtbl.find_opt t.pending key with
+      | Some p when not p.p_sent -> transmit t p
+      | _ -> () (* shed from the outbox meanwhile; skip *)
+    end
+    else continue := false
+  done
+
+(* Blocked-sender override: lost credit grants must not deadlock the
+   link, so a sender stalled past the flow layer's timeout forcibly
+   transmits one message, which restarts the consume/grant cycle. *)
+let rec stall_check t flow ~src ~dst () =
+  let q = blocked_queue t ~src ~dst in
+  if Queue.is_empty q then Hashtbl.remove t.stall_on (src, dst)
+  else begin
+    (match Queue.peek_opt q with
+    | Some (key, since) when Flow.stalled flow ~src ~dst ~since ->
+        let _ = Queue.pop q in
+        Flow.note_unblocked flow ~src;
+        (match Hashtbl.find_opt t.pending key with
+        | Some p when not p.p_sent -> transmit t p
+        | _ -> ())
+    | _ -> ());
+    if Queue.is_empty q then Hashtbl.remove t.stall_on (src, dst)
+    else
+      Wf_sim.Netsim.schedule t.net
+        ~delay:(Flow.config flow).Flow.stall_timeout
+        (stall_check t flow ~src ~dst)
+  end
+
+let ensure_stall_check t flow ~src ~dst =
+  if not (Hashtbl.mem t.stall_on (src, dst)) then begin
+    Hashtbl.replace t.stall_on (src, dst) ();
+    Wf_sim.Netsim.schedule t.net
+      ~delay:(Flow.config flow).Flow.stall_timeout
+      (stall_check t flow ~src ~dst)
+  end
+
+let send ?(priority = false) t ~src ~dst payload =
   let mid = t.mids.(src) in
   t.mids.(src) <- mid + 1;
   let epoch = t.epochs.(src) in
   if src = dst && not t.local_reliable then
     (* Same-site messages never link-fault: skip the ack machinery. *)
-    Wf_sim.Netsim.send t.net ~src ~dst (Data { mid; epoch; origin = src; payload })
+    Wf_sim.Netsim.send t.net ~src ~dst
+      (Data { mid; epoch; origin = src; prio = priority; payload })
   else begin
     let p =
       {
@@ -122,13 +244,28 @@ let send t ~src ~dst payload =
         p_epoch = epoch;
         p_mid = mid;
         p_payload = payload;
-        p_first_sent = Wf_sim.Netsim.now t.net;
+        p_prio = priority;
+        p_first_sent = now t;
         p_tries = 0;
+        p_sent = false;
       }
     in
     Hashtbl.replace t.pending (key_of p) p;
-    Wf_sim.Netsim.send t.net ~src ~dst (wire_of p);
-    Wf_sim.Netsim.schedule t.net ~delay:(rto_after t 0) (retransmit t (key_of p))
+    match t.flow with
+    | Some flow when (not priority) && src <> dst ->
+        (* Credit gate: transmit only inside the receiver's window;
+           otherwise park in the backlog until a grant arrives.  The
+           FIFO keeps queued sends ordered, so a send finding peers
+           already blocked queues behind them. *)
+        let q = blocked_queue t ~src ~dst in
+        if Queue.is_empty q && Flow.try_acquire flow ~src ~dst then
+          transmit t p
+        else begin
+          Queue.push (key_of p, now t) q;
+          Flow.note_blocked flow ~src;
+          ensure_stall_check t flow ~src ~dst
+        end
+    | _ -> transmit t p
   end
 
 (* [observer] just learned (via Hello, or a Data stamped with a newer
@@ -152,21 +289,50 @@ let revive_dead_to t ~observer ~origin =
       Wf_sim.Netsim.schedule t.net ~delay:(rto_after t 0) (retransmit t key))
     mine
 
+(* Re-announce a full credit window from [receiver] to [peer] after an
+   epoch bump on either side: both ledgers are volatile, so the PR 3
+   recovery handshake only converges if the window is restated.  Reset
+   grants overwrite instead of topping up, so duplicates are safe. *)
+let reannounce_window t ~receiver ~peer =
+  match t.flow with
+  | None -> ()
+  | Some flow ->
+      let grant = Flow.reset_window flow ~receiver ~peer in
+      emit_trace t
+        (Trace.make ~time:(now t) ~site:receiver
+           (Trace.Credit { peer; grant; reset = true }));
+      Wf_sim.Netsim.send ~control:true t.net ~src:receiver ~dst:peer
+        (Credit { grant; reset = true })
+
 let note_peer_epoch t ~observer ~origin epoch =
   if epoch > t.peer_epoch.(observer).(origin) then begin
     t.peer_epoch.(observer).(origin) <- epoch;
-    revive_dead_to t ~observer ~origin
+    revive_dead_to t ~observer ~origin;
+    reannounce_window t ~receiver:observer ~peer:origin
   end
 
 let default_retransmit_jitter = 0.1
 
 let create ?(rto = 3.0) ?(backoff = default_backoff) ?(max_rto = 60.0)
-    ?(max_retries = 30) ?(retransmit_jitter = default_retransmit_jitter) net =
+    ?(max_retries = 30) ?(retransmit_jitter = default_retransmit_jitter) ?flow
+    net =
   let n = Wf_sim.Netsim.num_sites net in
   let local_reliable =
     let fc = Wf_sim.Netsim.fault_config net in
     fc.Wf_sim.Netsim.crash_on_deliver > 0.0
     || fc.Wf_sim.Netsim.crash_on_send > 0.0
+  in
+  let flow =
+    match flow with
+    | None -> None
+    | Some config ->
+        Some
+          (Flow.create ~config ~num_sites:n
+             ~seed:(Wf_sim.Rng.next_int64 (Wf_sim.Netsim.rng net))
+             ~stats:(Wf_sim.Netsim.stats net)
+             ~now:(fun () -> Wf_sim.Netsim.now net)
+             ~tracer:(fun () -> Wf_sim.Netsim.tracer net)
+             ())
   in
   let t =
     {
@@ -179,11 +345,19 @@ let create ?(rto = 3.0) ?(backoff = default_backoff) ?(max_rto = 60.0)
       rng = Wf_sim.Rng.split (Wf_sim.Netsim.rng net);
       pending = Hashtbl.create 256;
       seen = Hashtbl.create 256;
+      seen_floor = Hashtbl.create 16;
       dead = Hashtbl.create 16;
       epochs = Array.make n 0;
       mids = Array.make n 0;
       peer_epoch = Array.init n (fun _ -> Array.make n 0);
       local_reliable;
+      flow;
+      blocked = Hashtbl.create 16;
+      stall_on = Hashtbl.create 16;
+      mbox = Hashtbl.create 16;
+      mbox_keys = Hashtbl.create 256;
+      draining = Array.make n false;
+      handlers = Hashtbl.create 16;
     }
   in
   (* Epoch handshake, sender side: a restarted site loses its volatile
@@ -193,13 +367,25 @@ let create ?(rto = 3.0) ?(backoff = default_backoff) ?(max_rto = 60.0)
   Wf_sim.Netsim.on_restart net (fun site ->
       t.epochs.(site) <- t.epochs.(site) + 1;
       t.mids.(site) <- 0;
-      (match Wf_sim.Netsim.tracer net with
+      emit_trace t
+        (Trace.make
+           ~time:(Wf_sim.Netsim.now net)
+           ~site ~epoch:t.epochs.(site) Trace.Epoch_bump);
+      (* The inbound mailbox is volatile: queued messages were never
+         acked, so the senders' retransmissions redeliver them. *)
+      (match t.flow with
       | None -> ()
-      | Some sink ->
-          Trace.emit sink
-            (Trace.make
-               ~time:(Wf_sim.Netsim.now net)
-               ~site ~epoch:t.epochs.(site) Trace.Epoch_bump));
+      | Some fl ->
+          (match Hashtbl.find_opt t.mbox site with
+          | None -> ()
+          | Some q ->
+              Queue.iter (fun (_, key, _, _) -> Hashtbl.remove t.mbox_keys key) q;
+              Queue.clear q);
+          t.draining.(site) <- false;
+          Flow.on_restart fl ~site;
+          for peer = 0 to n - 1 do
+            if peer <> site then reannounce_window t ~receiver:site ~peer
+          done);
       for dst = 0 to n - 1 do
         if dst <> site then
           Wf_sim.Netsim.send ~control:true t.net ~src:site ~dst
@@ -207,43 +393,147 @@ let create ?(rto = 3.0) ?(backoff = default_backoff) ?(max_rto = 60.0)
       done);
   t
 
+let mailbox t site =
+  match Hashtbl.find_opt t.mbox site with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.mbox site q;
+      q
+
+(* Hand one message to the application: this — not wire arrival — is
+   the consumption point under flow control, so the ack and the dedup
+   mark happen here and a crash wipes only unacked mailbox entries. *)
+let consume t site src ((origin, d_epoch, d_mid) as key : key) payload =
+  mark_seen t key;
+  if origin <> site || t.local_reliable then begin
+    Metrics.incr (stats t) "chan_acks";
+    Wf_sim.Netsim.send ~control:true t.net ~src:site ~dst:origin
+      (Ack { mid = d_mid; epoch = d_epoch })
+  end;
+  match Hashtbl.find_opt t.handlers site with
+  | None -> ()
+  | Some handler -> handler src payload
+
+let rec drain_mailbox t flow site () =
+  if Wf_sim.Netsim.site_crashed t.net site then
+    (* The crash wipes the mailbox; the restart hook resets the flag
+       and fresh arrivals restart the drain. *)
+    t.draining.(site) <- false
+  else
+    let q = mailbox t site in
+    match Queue.take_opt q with
+    | None ->
+        t.draining.(site) <- false;
+        (* The mailbox ran dry: flush partial grant batches so the tail
+           of a burst is never stranded waiting for a full batch. *)
+        for origin = 0 to Wf_sim.Netsim.num_sites t.net - 1 do
+          if origin <> site then begin
+            let grant = Flow.flush_grant flow ~dst:site ~origin in
+            if grant > 0 then begin
+              emit_trace t
+                (Trace.make ~time:(now t) ~site
+                   (Trace.Credit { peer = origin; grant; reset = false }));
+              Wf_sim.Netsim.send ~control:true t.net ~src:site ~dst:origin
+                (Credit { grant; reset = false })
+            end
+          end
+        done
+    | Some (src, ((origin, _, _) as key), payload, enqueued) ->
+        Hashtbl.remove t.mbox_keys key;
+        Metrics.observe (stats t) "flow_queue_wait" (now t -. enqueued);
+        consume t site src key payload;
+        (* Batch credit grants on consumption. *)
+        (if origin <> site then
+           let grant = Flow.mailbox_consumed flow ~dst:site ~origin in
+           if grant > 0 then begin
+             emit_trace t
+               (Trace.make ~time:(now t) ~site
+                  (Trace.Credit { peer = origin; grant; reset = false }));
+             Wf_sim.Netsim.send ~control:true t.net ~src:site ~dst:origin
+               (Credit { grant; reset = false })
+           end);
+        Wf_sim.Netsim.schedule t.net
+          ~delay:(Flow.config flow).Flow.service_time
+          (drain_mailbox t flow site)
+
 let on_receive t site handler =
+  Hashtbl.replace t.handlers site handler;
   Wf_sim.Netsim.on_receive t.net site (fun src wire ->
       match wire with
-      | Data { mid; epoch; origin; payload } ->
-          (* Ack every copy: the previous ack may itself have been
-             lost.  Deliver to the handler at most once per key — a
-             fresh epoch makes an old mid a distinct message, so a
-             post-restart (mid 0, epoch n+1) is never suppressed by a
-             pre-crash (mid 0, epoch n). *)
-          if origin <> site || t.local_reliable then begin
-            Metrics.incr (stats t) "chan_acks";
-            Wf_sim.Netsim.send ~control:true t.net ~src:site ~dst:origin
-              (Ack { mid; epoch });
-            if origin <> site then note_peer_epoch t ~observer:site ~origin epoch
-          end;
-          let key = (origin, epoch, mid) in
-          if Hashtbl.mem t.seen key then
-            Metrics.incr (stats t) "chan_duplicates_suppressed"
-          else begin
-            Hashtbl.replace t.seen key ();
-            handler src payload
-          end
+      | Data { mid; epoch; origin; prio; payload } -> (
+          let key : key = (origin, epoch, mid) in
+          if origin <> site then note_peer_epoch t ~observer:site ~origin epoch;
+          match t.flow with
+          | Some flow when (not prio) && not (src = site && origin = site) ->
+              (* Flow-controlled path: ack at consumption, not arrival,
+                 so a crash cannot lose acked-but-unprocessed messages.
+                 A full mailbox refuses the message unacknowledged and
+                 the sender's retransmission redelivers it later. *)
+              if is_seen t key then begin
+                Metrics.incr (stats t) "chan_duplicates_suppressed";
+                if origin <> site || t.local_reliable then begin
+                  (* Consumed earlier; the ack must have been lost. *)
+                  Metrics.incr (stats t) "chan_acks";
+                  Wf_sim.Netsim.send ~control:true t.net ~src:site ~dst:origin
+                    (Ack { mid; epoch })
+                end
+              end
+              else if Hashtbl.mem t.mbox_keys key then
+                (* Queued but not yet consumed: suppress the duplicate
+                   without acking — the consumption ack settles it. *)
+                Metrics.incr (stats t) "chan_duplicates_suppressed"
+              else if Flow.mailbox_enqueue flow ~dst:site then begin
+                Hashtbl.replace t.mbox_keys key ();
+                Queue.push (src, key, payload, now t) (mailbox t site);
+                if not t.draining.(site) then begin
+                  t.draining.(site) <- true;
+                  Wf_sim.Netsim.schedule t.net
+                    ~delay:(Flow.config flow).Flow.service_time
+                    (drain_mailbox t flow site)
+                end
+              end
+          | _ ->
+              (* Direct path (no flow control, or priority lane): ack
+                 every copy — the previous ack may itself have been
+                 lost.  Deliver to the handler at most once per key — a
+                 fresh epoch makes an old mid a distinct message, so a
+                 post-restart (mid 0, epoch n+1) is never suppressed by
+                 a pre-crash (mid 0, epoch n). *)
+              if origin <> site || t.local_reliable then begin
+                Metrics.incr (stats t) "chan_acks";
+                Wf_sim.Netsim.send ~control:true t.net ~src:site ~dst:origin
+                  (Ack { mid; epoch })
+              end;
+              if is_seen t key then
+                Metrics.incr (stats t) "chan_duplicates_suppressed"
+              else begin
+                mark_seen t key;
+                handler src payload
+              end)
       | Ack { mid; epoch } -> (
-          let key = (site, epoch, mid) in
+          let key : key = (site, epoch, mid) in
           match Hashtbl.find_opt t.pending key with
-          | None -> () (* duplicate ack *)
+          | None ->
+              (* Duplicate ack — or a message that gave up and was then
+                 consumed after all (slow mailbox): settle it. *)
+              Hashtbl.remove t.dead key
           | Some p ->
               Hashtbl.remove t.pending key;
-              Metrics.observe (stats t) "ack_latency"
-                (Wf_sim.Netsim.now t.net -. p.p_first_sent);
-              (match Wf_sim.Netsim.tracer t.net with
-              | None -> ()
-              | Some sink ->
-                  Trace.emit sink
-                    (Trace.make
-                       ~time:(Wf_sim.Netsim.now t.net)
-                       ~site ~epoch ~mid
-                       (Trace.Ack { dst = p.p_dst }))))
+              Metrics.observe (stats t) "ack_latency" (now t -. p.p_first_sent);
+              emit_trace t
+                (Trace.make ~time:(now t) ~site ~epoch ~mid
+                   (Trace.Ack { dst = p.p_dst }));
+              (* The ack frees a window slot only when the grant comes
+                 back; nothing to do here for flow. *)
+              ())
       | Hello { origin; epoch } ->
-          if origin <> site then note_peer_epoch t ~observer:site ~origin epoch)
+          if origin <> site then note_peer_epoch t ~observer:site ~origin epoch
+      | Credit { grant; reset } -> (
+          match t.flow with
+          | None -> ()
+          | Some fl ->
+              (* [site] is the sender being granted; [src] the granting
+                 receiver. *)
+              Flow.on_grant fl ~src:site ~dst:src ~grant ~reset;
+              drain_blocked t fl ~src:site ~dst:src))

@@ -52,17 +52,46 @@
     the network's, so reliable delivery over a faulty network remains
     deterministic and replayable from [(seed, fault_config)].
 
+    {2 Flow control (optional)}
+
+    With a {!Flow.config} the channel becomes overload-safe.  Senders
+    transmit Data only inside a receiver-granted credit window and
+    park the excess in a per-destination backlog; receivers hold
+    arrivals in a bounded inbound mailbox consumed at [service_time]
+    pace, acknowledge {e at consumption} (so a crash wipes only
+    unacked entries and retransmission redelivers them), and return
+    credits in batches.  A full mailbox refuses messages
+    unacknowledged.  Windows are re-announced with [reset] grants
+    after every epoch bump, and a blocked sender whose grants were all
+    lost force-transmits after [stall_timeout] — so flow control never
+    deadlocks and never breaks exactly-once.  Priority sends and the
+    restart handshake bypass both gates: control traffic is never
+    queued behind data.
+
+    The receiver dedup set is pruned against a cumulative watermark
+    per [(origin, epoch)] — ids are assigned densely, so entries at or
+    below the watermark are redundant with it and a long fault-free
+    run keeps O(reorder window) entries instead of O(messages).
+
     Counters in the network's {!Wf_obs.Metrics.t}: ["chan_retransmits"],
     ["chan_duplicates_suppressed"], ["chan_acks"], ["chan_gave_up"],
-    ["chan_revived"]; histogram ["ack_latency"] (first send to ack). *)
+    ["chan_revived"]; histogram ["ack_latency"] (first send to ack).
+    With flow control: the [flow_*] counters, gauges and histograms
+    documented in {!Flow}, plus ["flow_queue_wait"] (mailbox entry to
+    consumption). *)
 
 type site = Wf_sim.Netsim.site
 
 type 'a wire =
-  | Data of { mid : int; epoch : int; origin : site; payload : 'a }
+  | Data of { mid : int; epoch : int; origin : site; prio : bool; payload : 'a }
+      (** [prio] rides the priority lane: never credit-gated, never
+          mailbox-queued behind data *)
   | Ack of { mid : int; epoch : int }
   | Hello of { origin : site; epoch : int }
       (** broadcast by a restarted site; triggers dead-letter revival *)
+  | Credit of { grant : int; reset : bool }
+      (** receiver-granted send credits; [reset] re-announces a full
+          window after an epoch bump *)
 
 type 'a t
 
@@ -72,6 +101,7 @@ val create :
   ?max_rto:float ->
   ?max_retries:int ->
   ?retransmit_jitter:float ->
+  ?flow:Flow.config ->
   'a wire Wf_sim.Netsim.t ->
   'a t
 (** One channel manager serves every site of the given network.
@@ -84,12 +114,20 @@ val create :
     restores exact exponential backoff.
     Registers a {!Wf_sim.Netsim.on_restart} hook that runs the epoch
     handshake; create the channel {e before} any layer whose restart
-    hook relies on fresh epochs. *)
+    hook relies on fresh epochs.
+    [flow] enables credit-based flow control with bounded mailboxes;
+    without it the channel behaves exactly as before (every queue
+    unbounded, ack at arrival). *)
 
-val send : 'a t -> src:site -> dst:site -> 'a -> unit
+val send : ?priority:bool -> 'a t -> src:site -> dst:site -> 'a -> unit
 (** Send with at-least-once retransmission; combined with receiver-side
     dedup the payload is processed exactly once — across restarts of
-    either endpoint, as long as the destination eventually stays up. *)
+    either endpoint, as long as the destination eventually stays up.
+    [priority] (default false) takes the strict priority lane under
+    flow control: the send bypasses the credit gate and the receiver
+    consumes it immediately instead of queueing it in the mailbox —
+    for recovery handshakes and checkpoint triggers that must never
+    sit behind data.  Without flow control it is a no-op. *)
 
 val on_receive : 'a t -> site -> (site -> 'a -> unit) -> unit
 (** Install the application handler of a site.  The handler sees each
@@ -106,4 +144,13 @@ val unacked : 'a t -> int
     retransmitted). *)
 
 val dead_letters : 'a t -> int
-(** Messages the sender gave up on; kept for revival on a peer Hello. *)
+(** Messages the sender gave up on; kept for revival on a peer Hello.
+    Each give-up also emits a [Dead_letter] trace record, so spikes
+    are attributable from the JSONL trace. *)
+
+val flow : 'a t -> Flow.t option
+(** The flow-control ledger when the channel was created with one. *)
+
+val dedup_size : 'a t -> int
+(** Receiver dedup entries currently retained above the watermark —
+    O(reorder window) on a fault-free run, not O(messages). *)

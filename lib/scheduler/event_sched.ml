@@ -13,6 +13,8 @@ type config = {
   store : Wf_store.Media.Sim.fault_config option;
   on_event : occurrence -> unit;
   tracer : Wf_obs.Trace.sink option;
+  flow : Flow.config option;
+  arrival : Flow.arrival;
 }
 
 and occurrence = { lit : Literal.t; seqno : int; time : float }
@@ -30,6 +32,8 @@ let default_config =
     store = None;
     on_event = (fun _ -> ());
     tracer = None;
+    flow = None;
+    arrival = Flow.Poisson;
   }
 
 type result = {
@@ -228,11 +232,34 @@ and schedule_agent rt agent =
   | Some (sym, attr) ->
       Agent.begin_attempt agent sym;
       let delay =
-        Wf_sim.Rng.exponential (Wf_sim.Netsim.rng rt.net) ~mean:rt.cfg.think_time
+        Flow.arrival_delay rt.cfg.arrival
+          ~rng:(Wf_sim.Netsim.rng rt.net)
+          ~now:(Wf_sim.Netsim.now rt.net)
+          ~mean:rt.cfg.think_time
+      in
+      (* Admission gate: with flow control on, an attempt arriving
+         while the local site is over the shed watermark is refused
+         with Busy and retried after the verdict's seeded backoff —
+         load sheds at the boundary instead of growing queues. *)
+      let rec admitted_thunk first () =
+        match Channel.flow rt.chan with
+        | None -> attempt_body rt agent sym attr
+        | Some fl -> (
+            let site = Actor.site (actor_of rt sym) in
+            match
+              Flow.admit fl ~site ~actor:(Symbol.name sym) ~first ()
+            with
+            | Flow.Admitted -> attempt_body rt agent sym attr
+            | Flow.Busy { retry_after } ->
+                Wf_sim.Netsim.schedule rt.net ~delay:retry_after
+                  (admitted_thunk first))
       in
       Wf_sim.Netsim.schedule rt.net ~delay (fun () ->
-          Wf_obs.Metrics.incr (stats rt) "attempts";
-          if attr.Attribute.controllable then begin
+          admitted_thunk (Wf_sim.Netsim.now rt.net) ())
+
+and attempt_body rt agent sym attr =
+  Wf_obs.Metrics.incr (stats rt) "attempts";
+  if attr.Attribute.controllable then begin
             let actor = actor_of rt sym in
             (* Vet the complements the transition entails together with
                the event's own guard: committing must be allowed to
@@ -260,7 +287,7 @@ and schedule_agent rt agent =
                 Wf_obs.Metrics.incr (stats rt) "uncontrollable_violations"
             | _ -> ());
             fire rt (Literal.pos sym)
-          end)
+          end
 
 (* Rebuild a crashed actor: fresh instance from the spec-derived seed,
    restore the latest checkpoint, replay the journal suffix with side
@@ -334,7 +361,9 @@ let build cfg wf =
   (* Retransmission timeout: generously above one round trip, so the
      fault-free fast path rarely fires a retransmit. *)
   let chan =
-    Channel.create ~rto:(3.0 *. (cfg.base_latency +. cfg.jitter) +. 0.5) net
+    Channel.create
+      ~rto:(3.0 *. (cfg.base_latency +. cfg.jitter) +. 0.5)
+      ?flow:cfg.flow net
   in
   let rt =
     {
@@ -524,7 +553,10 @@ let build cfg wf =
                   && not (Knowledge.decided (Actor.knowledge actor) peer)
                 then begin
                   let dst_site = Actor.site (actor_of rt peer) in
-                  Channel.send rt.chan ~src:site ~dst:dst_site
+                  (* Recovery traffic rides the priority lane: it must
+                     never wait behind the data backlog it is trying to
+                     unblock. *)
+                  Channel.send ~priority:true rt.chan ~src:site ~dst:dst_site
                     (peer, Messages.Recovered { sym; epoch });
                   Wf_obs.Metrics.incr (stats rt) "msg_recovered"
                 end)

@@ -58,6 +58,18 @@ type config = {
           actor its guard-assimilation outcomes ([Assim] records with
           the evaluated guard's interned id).  Journal replay after a
           crash never re-emits. *)
+  flow : Flow.config option;
+      (** credit-based flow control and admission control (default
+          [None] = the historical unbounded behavior).  [Some cfg]
+          bounds every inbound mailbox, credit-gates Data sends, and
+          sheds attempts with a seeded-backoff retry when a site's
+          local queue depth crosses the watermark; recovery handshake
+          traffic takes the priority lane.  See {!Flow}. *)
+  arrival : Flow.arrival;
+      (** agent attempt arrival process (default {!Flow.Poisson}, the
+          historical exponential think time); {!Flow.Burst} fires all
+          agents in synchronized batches of the same mean rate — the
+          adversarial arrival shape for flow control. *)
 }
 
 and occurrence = { lit : Literal.t; seqno : int; time : float }

@@ -1,0 +1,205 @@
+open Wf_obs
+
+type config = {
+  mailbox_cap : int;
+  credit_window : int;
+  credit_batch : int;
+  shed_watermark : int;
+  retry_base : float;
+  retry_backoff : float;
+  retry_max : float;
+  probe_every : int;
+  service_time : float;
+  stall_timeout : float;
+}
+
+let default_config =
+  {
+    mailbox_cap = 64;
+    credit_window = 16;
+    credit_batch = 0;
+    shed_watermark = 48;
+    retry_base = 1.0;
+    retry_backoff = 2.0;
+    retry_max = 30.0;
+    probe_every = 8;
+    service_time = 0.05;
+    stall_timeout = 20.0;
+  }
+
+type verdict = Admitted | Busy of { retry_after : float }
+
+type t = {
+  cfg : config;
+  rng : Wf_sim.Rng.t;
+  stats : Metrics.t;
+  now : unit -> float;
+  tracer : unit -> Trace.sink option;
+  credits : int array array;  (* sender view: credits.(src).(dst) left *)
+  backlog : int array;  (* queued-not-transmitted Data per sender *)
+  mailbox : int array;  (* inbound mailbox depth per receiver *)
+  consumed : int array array;
+      (* receiver view: consumed.(dst).(origin) since last grant *)
+  shed_streak : int array;
+  shed_probe : int array;
+}
+
+let batch_of cfg =
+  if cfg.credit_batch > 0 then cfg.credit_batch
+  else max 1 (cfg.credit_window / 2)
+
+let create ?(config = default_config) ~num_sites ~seed ~stats ~now
+    ?(tracer = fun () -> None) () =
+  let n = max 1 num_sites in
+  {
+    cfg = config;
+    rng = Wf_sim.Rng.create seed;
+    stats;
+    now;
+    tracer;
+    credits = Array.init n (fun _ -> Array.make n config.credit_window);
+    backlog = Array.make n 0;
+    mailbox = Array.make n 0;
+    consumed = Array.init n (fun _ -> Array.make n 0);
+    shed_streak = Array.make n 0;
+    shed_probe = Array.make n 0;
+  }
+
+let config t = t.cfg
+
+let gauge_max t name v =
+  let cur = match Metrics.gauge t.stats name with Some g -> g | None -> 0.0 in
+  if float_of_int v > cur then Metrics.set_gauge t.stats name (float_of_int v)
+
+(* --- sender side --------------------------------------------------------- *)
+
+let try_acquire t ~src ~dst =
+  if t.credits.(src).(dst) > 0 then begin
+    t.credits.(src).(dst) <- t.credits.(src).(dst) - 1;
+    Metrics.incr t.stats "flow_credits_consumed";
+    true
+  end
+  else false
+
+let note_blocked t ~src =
+  t.backlog.(src) <- t.backlog.(src) + 1;
+  Metrics.incr t.stats "flow_sends_blocked";
+  gauge_max t "flow_max_backlog" t.backlog.(src)
+
+let note_unblocked t ~src = t.backlog.(src) <- max 0 (t.backlog.(src) - 1)
+
+let on_grant t ~src ~dst ~grant ~reset =
+  let w = t.cfg.credit_window in
+  let next =
+    if reset then min w grant else min w (t.credits.(src).(dst) + grant)
+  in
+  t.credits.(src).(dst) <- next
+
+let stalled t ~src ~dst ~since =
+  if t.credits.(src).(dst) = 0 && t.now () -. since >= t.cfg.stall_timeout
+  then begin
+    Metrics.incr t.stats "flow_credit_overrides";
+    true
+  end
+  else false
+
+(* --- receiver side ------------------------------------------------------- *)
+
+let mailbox_enqueue t ~dst =
+  if t.mailbox.(dst) >= t.cfg.mailbox_cap then begin
+    Metrics.incr t.stats "flow_mailbox_rejects";
+    false
+  end
+  else begin
+    t.mailbox.(dst) <- t.mailbox.(dst) + 1;
+    Metrics.incr t.stats "flow_mailbox_enqueued";
+    gauge_max t "flow_max_mailbox_depth" t.mailbox.(dst);
+    true
+  end
+
+let grant_ready t ~dst ~origin ~threshold =
+  let pending = t.consumed.(dst).(origin) in
+  if pending >= threshold && pending > 0 then begin
+    t.consumed.(dst).(origin) <- 0;
+    Metrics.add t.stats "flow_credits_granted" pending;
+    pending
+  end
+  else 0
+
+let mailbox_consumed t ~dst ~origin =
+  t.mailbox.(dst) <- max 0 (t.mailbox.(dst) - 1);
+  t.consumed.(dst).(origin) <- t.consumed.(dst).(origin) + 1;
+  grant_ready t ~dst ~origin ~threshold:(batch_of t.cfg)
+
+let flush_grant t ~dst ~origin = grant_ready t ~dst ~origin ~threshold:1
+
+let reset_window t ~receiver ~peer =
+  t.consumed.(receiver).(peer) <- 0;
+  Metrics.add t.stats "flow_credits_granted" t.cfg.credit_window;
+  t.cfg.credit_window
+
+let on_restart t ~site =
+  t.mailbox.(site) <- 0;
+  Array.fill t.consumed.(site) 0 (Array.length t.consumed.(site)) 0
+
+(* --- admission ----------------------------------------------------------- *)
+
+let depth t ~site = t.mailbox.(site) + t.backlog.(site)
+
+let admit t ~site ?actor ?depth:d ~first () =
+  let d = match d with Some d -> d | None -> depth t ~site in
+  let admitted () =
+    t.shed_streak.(site) <- 0;
+    Metrics.incr t.stats "flow_admitted";
+    Metrics.observe t.stats "flow_admission_latency" (t.now () -. first);
+    Admitted
+  in
+  if d < t.cfg.shed_watermark then admitted ()
+  else begin
+    t.shed_probe.(site) <- t.shed_probe.(site) + 1;
+    if t.cfg.probe_every > 0 && t.shed_probe.(site) mod t.cfg.probe_every = 0
+    then begin
+      Metrics.incr t.stats "flow_probe_admits";
+      admitted ()
+    end
+    else begin
+      let streak = min t.shed_streak.(site) 30 in
+      t.shed_streak.(site) <- t.shed_streak.(site) + 1;
+      Metrics.incr t.stats "flow_shed";
+      let base =
+        Float.min t.cfg.retry_max
+          (t.cfg.retry_base *. (t.cfg.retry_backoff ** float_of_int streak))
+      in
+      (* x0.5 .. x1.5 seeded jitter desynchronizes shed herds the same
+         way retransmit jitter desynchronizes retry storms. *)
+      let retry_after = base *. (0.5 +. Wf_sim.Rng.float t.rng 1.0) in
+      (match t.tracer () with
+      | None -> ()
+      | Some sink ->
+          Trace.emit sink
+            (Trace.make ~time:(t.now ()) ~site ?actor
+               (Trace.Shed { depth = d; retry_after })));
+      Busy { retry_after }
+    end
+  end
+
+(* --- arrival processes --------------------------------------------------- *)
+
+type arrival = Poisson | Burst
+
+let arrival_of_string = function
+  | "poisson" -> Some Poisson
+  | "burst" -> Some Burst
+  | _ -> None
+
+let arrival_to_string = function Poisson -> "poisson" | Burst -> "burst"
+
+let arrival_delay a ~rng ~now ~mean =
+  match a with
+  | Poisson -> Wf_sim.Rng.exponential rng ~mean
+  | Burst ->
+      (* Same average rate, delivered as synchronized batches: every
+         source fires at the next multiple of the burst period. *)
+      let period = 4.0 *. Float.max mean 1e-9 in
+      let next = (Float.of_int (int_of_float (now /. period)) +. 1.0) *. period in
+      Float.max (next -. now) 1e-9

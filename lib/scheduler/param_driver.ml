@@ -8,9 +8,9 @@ type result = {
   finished : bool;
 }
 
-let run ?(seed = 42L) ?(max_steps = 100_000) ?crash_every ?tracer ~templates wf
-    =
-  let engine = ref (Param_sched.create templates) in
+let run ?(seed = 42L) ?(max_steps = 100_000) ?crash_every ?tracer ?flow
+    ~templates wf =
+  let engine = ref (Param_sched.create ?flow templates) in
   Param_sched.set_tracer !engine tracer;
   let rng = Wf_sim.Rng.create seed in
   let agents =
@@ -25,6 +25,22 @@ let run ?(seed = 42L) ?(max_steps = 100_000) ?crash_every ?tracer ~templates wf
   let last_crash = ref 0 in
   let steps = ref 0 in
   let stalled = ref 0 in
+  (* Agents whose last attempt was shed ([Busy]): the engine never saw
+     it, so the driver re-submits when the agent is next picked (the
+     step loop has no clock; the admission controller's probe admission
+     guarantees the retry eventually lands). *)
+  let busy : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let handle agent sym outcome =
+    match outcome with
+    | Param_sched.Accepted | Param_sched.Already ->
+        Hashtbl.remove busy (Agent.instance agent);
+        ignore (Agent.on_accepted agent sym)
+    | Param_sched.Parked -> Hashtbl.remove busy (Agent.instance agent)
+    | Param_sched.Rejected ->
+        Hashtbl.remove busy (Agent.instance agent);
+        Agent.on_rejected agent sym
+    | Param_sched.Busy _ -> Hashtbl.replace busy (Agent.instance agent) ()
+  in
   let progress () =
     List.exists (fun a -> not (Agent.finished a)) agents
   in
@@ -41,15 +57,14 @@ let run ?(seed = 42L) ?(max_steps = 100_000) ?crash_every ?tracer ~templates wf
           | Some sym when Knowledge.decided (Param_sched.knowledge !engine) sym
             ->
               ignore (Agent.on_accepted agent sym)
+          | Some sym when Hashtbl.mem busy (Agent.instance agent) ->
+              incr attempts;
+              handle agent sym (Param_sched.attempt !engine sym)
           | _ -> ())
-      | Some (sym, _) -> (
+      | Some (sym, _) ->
           incr attempts;
           Agent.begin_attempt agent sym;
-          match Param_sched.attempt !engine sym with
-          | Param_sched.Accepted | Param_sched.Already ->
-              ignore (Agent.on_accepted agent sym)
-          | Param_sched.Parked -> ()
-          | Param_sched.Rejected -> Agent.on_rejected agent sym)
+          handle agent sym (Param_sched.attempt !engine sym)
     end;
     (* Simulated engine crash: throw the in-memory engine away and
        rebuild it from its journal (checkpoint + replay).  Agents model

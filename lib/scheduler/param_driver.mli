@@ -18,6 +18,7 @@ val run :
   ?max_steps:int ->
   ?crash_every:int ->
   ?tracer:Wf_obs.Trace.sink ->
+  ?flow:Flow.config ->
   templates:Ptemplate.t list ->
   Workflow_def.t ->
   result
@@ -26,4 +27,7 @@ val run :
     replay determinism makes the run indistinguishable from an
     uncrashed one.  [tracer] attaches a structured trace sink to the
     engine ({!Param_sched.set_tracer}); it survives the injected
-    crashes. *)
+    crashes.  [flow] enables the engine's admission control: attempts
+    shed with {!Param_sched.Busy} are re-submitted when the agent is
+    next scheduled, and probe admission guarantees they eventually
+    land. *)

@@ -1,6 +1,11 @@
 open Wf_core
 
-type outcome = Accepted | Parked | Rejected | Already
+type outcome =
+  | Accepted
+  | Parked
+  | Rejected
+  | Already
+  | Busy of { retry_after : float }
 
 (* Journaled inputs and checkpointed state: the engine's evolution is a
    deterministic function of the attempt/occurrence sequence, so a
@@ -71,15 +76,37 @@ type t = {
   mutable seqno : int;
   mutable occurrences : Literal.t list; (* newest first *)
   mutable parked_syms : Symbol.t list;
-  mutable tracer : Wf_obs.Trace.sink option;
-  mutable tick : int;
+  tracer : Wf_obs.Trace.sink option ref;
+      (* a ref shared with the flow controller's closure (and carried
+         across {!recover}), so retargeting the sink retargets both *)
+  tick : int ref;
       (* logical time for trace records: the engine has no simulated
-         clock, so records are stamped with the input count *)
+         clock, so records are stamped with the input count; a shared
+         ref for the same reason as [tracer] *)
+  fstats : Wf_obs.Metrics.t;
+      (* registry for the flow controller's [flow_*] counters — the
+         engine itself has none *)
+  flow : Flow.t option;
+      (* admission control over the parked backlog; [None] = every
+         attempt admitted (historical behavior) *)
+  mutable work : int;
+      (* cumulative decision evaluations (attempt decides + parked
+         re-decides): the engine's unit of work, exposed so open-loop
+         drivers can charge a virtual service cost that grows with the
+         parked backlog *)
+  token_set : (string, unit) Hashtbl.t;
+      (* distinct non-marker tokens across recorded occurrences — the
+         instance-enumeration universe.  Maintained incrementally by
+         [record] (rebuilt on snapshot restore) so [known_values] and
+         the fresh-token check on every [occurred] cost O(1)/O(arity)
+         instead of O(knowledge symbols × tokens), which would make a
+         fleet of n bindings O(n^2) just to notice each token is new. *)
+  mutable token_list : string list; (* same tokens, newest first *)
 }
 
 let fresh_marker = "*"
 
-let create ?(checkpoint_every = 32) ?store ?(store_seed = 1L) deps =
+let create ?(checkpoint_every = 32) ?store ?(store_seed = 1L) ?flow deps =
   let templates =
     List.concat
       (List.mapi
@@ -122,6 +149,20 @@ let create ?(checkpoint_every = 32) ?store ?(store_seed = 1L) deps =
   | Some m ->
       Wf_store.Journal.attach journal
         (Wf_store.Log.create codec (Wf_store.Media.Sim.device m)));
+  let tracer = ref None in
+  let tick = ref 0 in
+  let fstats = Wf_obs.Metrics.create () in
+  let flow =
+    Option.map
+      (fun cfg ->
+        Flow.create ~config:cfg ~num_sites:1
+          ~seed:(Int64.logxor store_seed 0x466C4F57L)
+          ~stats:fstats
+          ~now:(fun () -> float_of_int !tick)
+          ~tracer:(fun () -> !tracer)
+          ())
+      flow
+  in
   {
     deps;
     templates;
@@ -133,8 +174,13 @@ let create ?(checkpoint_every = 32) ?store ?(store_seed = 1L) deps =
     seqno = 0;
     occurrences = [];
     parked_syms = [];
-    tracer = None;
-    tick = 0;
+    tracer;
+    tick;
+    fstats;
+    flow;
+    work = 0;
+    token_set = Hashtbl.create 64;
+    token_list = [];
   }
 
 (* --- variable handling on marked symbols -------------------------------- *)
@@ -202,18 +248,21 @@ let combine a b =
   | Knowledge.True, Knowledge.True -> Knowledge.True
   | _ -> Knowledge.Unknown
 
-let known_values t =
-  let values = ref [] in
-  Symbol.Map.iter
-    (fun sym _ ->
-      List.iter
-        (fun arg ->
-          if (not (is_marker arg)) && not (List.mem arg !values) then
-            values := arg :: !values)
-        (Symbol.args sym))
-    (Knowledge.symbols t.know
-    |> List.fold_left (fun m s -> Symbol.Map.add s () m) Symbol.Map.empty);
-  !values
+let note_tokens t sym =
+  List.iter
+    (fun arg ->
+      if (not (is_marker arg)) && not (Hashtbl.mem t.token_set arg) then begin
+        Hashtbl.add t.token_set arg ();
+        t.token_list <- arg :: t.token_list
+      end)
+    (Symbol.args sym)
+
+let rebuild_tokens t =
+  Hashtbl.reset t.token_set;
+  t.token_list <- [];
+  List.iter (note_tokens t) (Knowledge.symbols t.know)
+
+let known_values t = t.token_list
 
 let rec combos vars values =
   match vars with
@@ -247,7 +296,7 @@ let instance_status t template ~bound =
 
 (* --- tracing ------------------------------------------------------------- *)
 
-let set_tracer t sink = t.tracer <- sink
+let set_tracer t sink = t.tracer := sink
 
 (* The guard id of a decision about [sym]: the interned id of the first
    matching positive template's instance guard.  Only computed (and
@@ -265,18 +314,19 @@ let guard_uid_for t sym =
   find t.templates
 
 let emit_assim t sym outcome =
-  match t.tracer with
+  match !(t.tracer) with
   | None -> ()
   | Some sink ->
       Wf_obs.Trace.emit sink
         (Wf_obs.Trace.make
-           ~time:(float_of_int t.tick)
+           ~time:(float_of_int !(t.tick))
            ~site:0 ~actor:(Symbol.name sym)
            (Wf_obs.Trace.Assim { outcome; guard = guard_uid_for t sym }))
 
 (* --- the engine ---------------------------------------------------------- *)
 
 let decide t sym =
+  t.work <- t.work + 1;
   let verdicts =
     List.filter_map
       (fun (_, atom, template) ->
@@ -292,7 +342,8 @@ let decide t sym =
 let record t lit =
   t.seqno <- t.seqno + 1;
   t.know <- Knowledge.occurred lit ~seqno:t.seqno t.know;
-  t.occurrences <- lit :: t.occurrences
+  t.occurrences <- lit :: t.occurrences;
+  note_tokens t (Literal.symbol lit)
 
 (* Can news about [base] change [decide t sym]?  [decide] evaluates the
    guard templates of the atoms matching [sym], and every knowledge
@@ -362,9 +413,8 @@ let apply_occurred t lit =
        every template with free variables, so only gate the retry when
        all of the occurrence's tokens are already known. *)
     let fresh_token =
-      let known = known_values t in
       List.exists
-        (fun arg -> not (is_marker arg) && not (List.mem arg known))
+        (fun arg -> (not (is_marker arg)) && not (Hashtbl.mem t.token_set arg))
         (Symbol.args sym)
     in
     record t lit;
@@ -386,22 +436,42 @@ let restore t s =
   t.know <- s.s_know;
   t.seqno <- s.s_seqno;
   t.occurrences <- s.s_occurrences;
-  t.parked_syms <- s.s_parked_syms
+  t.parked_syms <- s.s_parked_syms;
+  rebuild_tokens t
 
 let maybe_checkpoint t =
   if Wf_store.Journal.wants_checkpoint t.journal then
     Wf_store.Journal.checkpoint t.journal (snapshot t)
 
+(* Admission gate over the parked backlog.  A shed attempt is refused
+   before it is journaled: it is not an input, so replay after a crash
+   sees exactly the admitted sequence. *)
+let admit_gate t sym =
+  match t.flow with
+  | None -> None
+  | Some fl -> (
+      match
+        Flow.admit fl ~site:0 ~actor:(Symbol.name sym)
+          ~depth:(List.length t.parked_syms)
+          ~first:(float_of_int !(t.tick))
+          ()
+      with
+      | Flow.Admitted -> None
+      | Flow.Busy { retry_after } -> Some retry_after)
+
 let attempt t sym =
-  Wf_store.Journal.append t.journal (P_attempt sym);
-  t.tick <- t.tick + 1;
-  let out = apply_attempt t sym in
-  maybe_checkpoint t;
-  out
+  match admit_gate t sym with
+  | Some retry_after -> Busy { retry_after }
+  | None ->
+      Wf_store.Journal.append t.journal (P_attempt sym);
+      incr t.tick;
+      let out = apply_attempt t sym in
+      maybe_checkpoint t;
+      out
 
 let occurred t lit =
   Wf_store.Journal.append t.journal (P_occurred lit);
-  t.tick <- t.tick + 1;
+  incr t.tick;
   apply_occurred t lit;
   maybe_checkpoint t
 
@@ -422,14 +492,28 @@ let recover t =
         in
         (j', Some report)
   in
-  let fresh = { (create t.deps) with journal; media = t.media } in
+  (* The shared [tracer] and [tick] refs (and the flow controller whose
+     closures capture them) carry over, so the fresh engine keeps the
+     sink, the logical clock, and the admission state. *)
+  let fresh =
+    {
+      (create t.deps) with
+      journal;
+      media = t.media;
+      tracer = t.tracer;
+      tick = t.tick;
+      fstats = t.fstats;
+      flow = t.flow;
+      work = t.work;
+    }
+  in
   fresh.last_salvage <-
     (match salvage with None -> t.last_salvage | some -> some);
-  (match (salvage, t.tracer) with
+  (match (salvage, !(t.tracer)) with
   | Some report, Some sink ->
       Wf_obs.Trace.emit sink
         (Wf_obs.Trace.make
-           ~time:(float_of_int t.tick)
+           ~time:(float_of_int !(t.tick))
            ~site:0
            (Wf_obs.Trace.Store_salvage
               {
@@ -438,8 +522,11 @@ let recover t =
                 fallback = report.Wf_store.Log.sr_ckpt = Wf_store.Log.Fallback;
               }))
   | _ -> ());
-  (* replay is silent: [fresh] starts with no tracer, so re-applied
-     inputs do not re-emit decisions the pre-crash engine traced *)
+  (* replay is silent: the shared sink is unhooked for its duration, so
+     re-applied inputs do not re-emit decisions the pre-crash engine
+     traced *)
+  let saved = !(t.tracer) in
+  t.tracer := None;
   let ckpt, suffix = Wf_store.Journal.recover journal in
   (match ckpt with Some s -> restore fresh s | None -> ());
   List.iter
@@ -447,8 +534,7 @@ let recover t =
       | P_attempt sym -> ignore (apply_attempt fresh sym)
       | P_occurred lit -> apply_occurred fresh lit)
     suffix;
-  fresh.tracer <- t.tracer;
-  fresh.tick <- t.tick;
+  t.tracer := saved;
   fresh
 
 let equal_state a b =
@@ -461,5 +547,7 @@ let parked t = t.parked_syms
 let trace t = List.rev t.occurrences
 let knowledge t = t.know
 let guard_templates t = t.templates
+let stats t = t.fstats
+let work t = t.work
 
 let last_salvage t = t.last_salvage

@@ -18,7 +18,16 @@ open Wf_core
     structure: agents may attempt event tokens in any order, any number
     of times (Example 13). *)
 
-type outcome = Accepted | Parked | Rejected | Already
+type outcome =
+  | Accepted
+  | Parked
+  | Rejected
+  | Already
+  | Busy of { retry_after : float }
+      (** shed by admission control: the parked backlog is over the
+          {!Flow.config.shed_watermark}; retry after [retry_after]
+          logical ticks.  Only produced when the engine was created
+          with a [flow] config. *)
 
 type t
 
@@ -26,6 +35,7 @@ val create :
   ?checkpoint_every:int ->
   ?store:Wf_store.Media.Sim.fault_config ->
   ?store_seed:int64 ->
+  ?flow:Flow.config ->
   Ptemplate.t list ->
   t
 (** Synthesizes one guard template per (dependency, atom pattern).
@@ -34,7 +44,12 @@ val create :
     the journal with a checksummed framed log over simulated storage
     seeded with [store_seed]: {!recover} then injects the configured
     faults and rebuilds from the salvage scan instead of trusting the
-    in-memory journal. *)
+    in-memory journal.  [flow] (default absent) enables admission
+    control: {!attempt} sheds with {!Busy} when the parked backlog is
+    at or above the config's [shed_watermark] — shed attempts are
+    refused {e before} they are journaled, so crash replay sees
+    exactly the admitted input sequence; probe admissions keep shed
+    tokens live (see {!Flow.admit}). *)
 
 val set_tracer : t -> Wf_obs.Trace.sink option -> unit
 (** Attach a structured trace sink: decisions emit
@@ -63,6 +78,18 @@ val knowledge : t -> Knowledge.t
 val guard_templates : t -> (int * Ptemplate.atom * Guard.t) list
 (** The synthesized guard templates (dependency index, pattern,
     guard over [?var]-marked symbols). *)
+
+val stats : t -> Wf_obs.Metrics.t
+(** The engine's metrics registry — holds the admission controller's
+    [flow_*] counters when the engine was created with a [flow]
+    config (empty otherwise). *)
+
+val work : t -> int
+(** Cumulative decision evaluations (attempt decides plus parked
+    re-decides) — the engine's unit of work.  An attempt landing on a
+    backlog of [p] parked tokens costs O(p) re-decides, so open-loop
+    drivers use the delta of this counter to charge a virtual service
+    cost that honestly grows with congestion. *)
 
 val recover : t -> t
 (** Simulate a crash and restart: rebuild a fresh engine from the same

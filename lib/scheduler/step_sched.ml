@@ -17,6 +17,34 @@ end
 
 module PairMap = Map.Make (Pair)
 
+(* Purely functional FIFO queue (banker's deque): push is O(1) and pop
+   amortized O(1), against the O(n) tail append of a plain list that
+   made deep-interleaving model checks quadratic in queue length.
+   Being persistent, snapshots keep sharing queues by value. *)
+module Dq = struct
+  type 'a t = { front : 'a list; back : 'a list }
+
+  let empty = { front = []; back = [] }
+  let is_empty q = q.front = [] && q.back = []
+  let push q x = { q with back = x :: q.back }
+
+  (* Keep [front] nonempty unless the queue is empty, so [peek] after
+     normalization is O(1). *)
+  let norm q =
+    match q.front with
+    | [] -> { front = List.rev q.back; back = [] }
+    | _ -> q
+
+  let peek q = match (norm q).front with x :: _ -> Some x | [] -> None
+
+  let pop q =
+    match norm q with
+    | { front = []; _ } -> None
+    | { front = x :: front; back } -> Some (x, { front; back })
+
+  let to_list q = q.front @ List.rev q.back
+end
+
 type jstate = {
   mutable j : (Actor.input, Actor.snapshot) Wf_store.Journal.t;
   mutable depth : int;
@@ -39,7 +67,7 @@ type t = {
   subscriptions : (Symbol.t, Symbol.Set.t) Hashtbl.t;
   pending_trigger_complements : (Symbol.t, Literal.t list) Hashtbl.t;
   epochs : int array;
-  mutable queues : Messages.t list PairMap.t; (* oldest first *)
+  mutable queues : Messages.t Dq.t PairMap.t; (* oldest first *)
   mutable decided : Symbol.Set.t;
   mutable seqno : int;
   mutable occurrences : (Literal.t * int) list; (* newest first *)
@@ -72,8 +100,8 @@ let subscribers_of t sym =
 
 let enqueue t ~src ~dst msg =
   let key = (src, dst) in
-  let q = Option.value (PairMap.find_opt key t.queues) ~default:[] in
-  t.queues <- PairMap.add key (q @ [ msg ]) t.queues
+  let q = Option.value (PairMap.find_opt key t.queues) ~default:Dq.empty in
+  t.queues <- PairMap.add key (Dq.push q msg) t.queues
 
 (* Per-actor context.  Unlike [Event_sched]'s, the closures capture only
    the symbol, never the actor record, so recovery can swap in a fresh
@@ -227,15 +255,15 @@ let nonempty_queues t = List.map fst (PairMap.bindings t.queues)
 
 let queue_head t key =
   match PairMap.find_opt key t.queues with
-  | Some (m :: _) -> Some m
-  | _ -> None
+  | Some q -> Dq.peek q
+  | None -> None
 
 let do_deliver t ((_, dst) as key) =
-  match PairMap.find_opt key t.queues with
-  | None | Some [] -> invalid_arg "Step_sched.do_deliver: empty queue"
-  | Some (msg :: rest) ->
+  match Option.bind (PairMap.find_opt key t.queues) Dq.pop with
+  | None -> invalid_arg "Step_sched.do_deliver: empty queue"
+  | Some (msg, rest) ->
       t.queues <-
-        (if rest = [] then PairMap.remove key t.queues
+        (if Dq.is_empty rest then PairMap.remove key t.queues
          else PairMap.add key rest t.queues);
       Wf_obs.Metrics.incr t.stats "messages_delivered";
       deliver t (actor_of t dst) (Actor.I_message msg)
@@ -344,7 +372,7 @@ type snapshot = {
   s_actors : (Symbol.t * Actor.snapshot) list;
   s_journals : (Symbol.t * (Actor.input, Actor.snapshot) Wf_store.Journal.t) list;
   s_agents : (string * Agent.snapshot) list;
-  s_queues : Messages.t list PairMap.t;
+  s_queues : Messages.t Dq.t PairMap.t;
   s_pending : (Symbol.t * Literal.t list) list;
   s_epochs : int array;
   s_decided : Symbol.Set.t;
@@ -444,7 +472,10 @@ let fingerprint t =
   in
   let h =
     PairMap.fold
-      (fun (src, dst) q h -> F.list fp_msg (fp_sym (fp_sym h src) dst) q)
+      (fun (src, dst) q h ->
+        (* Fold in logical (oldest-first) order so two states whose
+           deques differ only in front/back split fingerprint alike. *)
+        F.list fp_msg (fp_sym (fp_sym h src) dst) (Dq.to_list q))
       t.queues h
   in
   let h =

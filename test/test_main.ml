@@ -18,6 +18,7 @@ let () =
       ("schedulers", Test_sched.suite);
       ("conformance", Test_conformance.suite);
       ("recovery", Test_recovery.suite);
+      ("flow", Test_flow.suite);
       ("properties", Test_props.suite);
       ("parametrized", Test_param.suite);
       ("language", Test_lang.suite);

@@ -108,7 +108,8 @@ let test_mutex_safety_random () =
           | Param_sched.Accepted | Param_sched.Already ->
               state.(i) <- (if inside then (round + 1, false) else (round, true))
           | Param_sched.Parked -> ()
-          | Param_sched.Rejected -> Alcotest.fail "unexpected rejection"
+          | Param_sched.Rejected | Param_sched.Busy _ ->
+              Alcotest.fail "unexpected rejection"
         end
       done;
       let trace = Param_sched.trace eng in

@@ -174,7 +174,8 @@ let test_epoch_mid_reuse_not_suppressed () =
   (* A late retransmission of the pre-crash copy keeps its old epoch and
      is still recognized as a duplicate. *)
   Netsim.send net ~src:0 ~dst:1
-    (Channel.Data { mid = 0; epoch = 0; origin = 0; payload = "pre-crash" });
+    (Channel.Data
+       { mid = 0; epoch = 0; origin = 0; prio = false; payload = "pre-crash" });
   Netsim.run net;
   check Alcotest.int "stale pre-crash copy suppressed" 2
     (List.length !received);
