@@ -10,12 +10,14 @@
      --check     run only the model-checker exploration suite
      --store     run only the durable-log overhead and salvage suite
      --overload  run only the open-loop overload/flow-control suite
+     --scale     run only the fleet-scale suite (10^5..10^6 bindings)
      --smoke     small configs and quotas (CI smoke job)
      --json [F]  write the selected suite's numbers to F (default
                  BENCH_CORE.json, BENCH_CRASH.json with --crash,
                  BENCH_CHECK.json with --check, BENCH_STORE.json with
-                 --store, or BENCH_OVERLOAD.json with --overload, in
-                 the current directory) *)
+                 --store, BENCH_OVERLOAD.json with --overload, or
+                 BENCH_SCALE.json with --scale, in the current
+                 directory) *)
 
 open Wf_core
 open Wf_tasks
@@ -1680,6 +1682,305 @@ let write_overload_json path ~smoke rows =
     g.g_collapse_ok (ov_all_ok g);
   close_out oc
 
+(* --- fleet scale bench (BENCH_SCALE.json) ------------------------------------- *)
+
+(* One spec, 10^5..10^6 parameter bindings: the arena-backed Fleet
+   engine against the symbolic Param_sched baseline on the same
+   prepare/commit saga and the same Poisson arrival process (PR 9's
+   open-loop machinery).  Commits arrive first and park; each prepare
+   lands an exponential lag later and un-parks its commit.  Reported
+   per leg: sustained journaled inputs per wall second, p99 wall-clock
+   latency of an enabling input (an occurrence that retires events),
+   and GC-measured live bytes per instance. *)
+
+type sc_row = {
+  sc_engine : string; (* "param" | "fleet" *)
+  sc_bindings : int;
+  sc_inputs : int;
+  sc_events : int; (* realized trace length *)
+  sc_wall_s : float;
+  sc_events_per_s : float;
+  sc_p99_enable_us : float;
+  sc_bytes_per_instance : float;
+  sc_state_words : int; (* fleet flat-state words; -1 for param *)
+  sc_table_steps : int;
+  sc_symbolic_evals : int;
+  sc_drained : bool;
+  sc_violations : int;
+}
+
+type sc_eng = {
+  sc_attempt : Symbol.t -> Param_sched.outcome;
+  sc_occurred : Literal.t -> unit;
+  sc_parked_count : unit -> int;
+  sc_trace : unit -> Trace.t;
+  sc_stats : unit -> Wf_obs.Metrics.t;
+  sc_words : unit -> int;
+}
+
+let sc_prepare_lag = 8.0 (* mean prepare lag, in mean inter-arrival units *)
+
+let sc_make_engine engine n =
+  match engine with
+  | `Param ->
+      let e = Param_sched.create [ ov_template ] in
+      {
+        sc_attempt = Param_sched.attempt e;
+        sc_occurred = Param_sched.occurred e;
+        sc_parked_count = (fun () -> Param_sched.parked_count e);
+        sc_trace = (fun () -> Param_sched.trace e);
+        sc_stats = (fun () -> Param_sched.stats e);
+        sc_words = (fun () -> -1);
+      }
+  | `Fleet ->
+      (* A fleet checkpoint encodes the whole arena, so the cadence
+         scales with the fleet: ~16 checkpoints over the run. *)
+      let e = Fleet.create ~checkpoint_every:(max 1024 (n / 16)) [ ov_template ] in
+      {
+        sc_attempt = Fleet.attempt e;
+        sc_occurred = Fleet.occurred e;
+        sc_parked_count = (fun () -> Fleet.parked_count e);
+        sc_trace = (fun () -> Fleet.trace e);
+        sc_stats = (fun () -> Fleet.stats e);
+        sc_words = (fun () -> Fleet.state_words e);
+      }
+
+let sc_run ~engine ~n ~seed ~audit =
+  let rng = Wf_sim.Rng.create seed in
+  (* Virtual-time schedule as flat preallocated arrays (slot [2j] is
+     commit j's arrival, slot [2j+1] its prepare, an exponential lag
+     later), sorted through an index permutation.  The arrays are built
+     before the memory baseline and stay fully live until after the
+     final measurement, so the live-words delta holds engine-held
+     structures only — a consumable event heap would free its tuples
+     mid-run and corrupt the accounting. *)
+  let m = 2 * n in
+  let times = Array.make m 0.0 in
+  let t = ref 0.0 in
+  for j = 0 to n - 1 do
+    t := !t +. Flow.arrival_delay Flow.Poisson ~rng ~now:!t ~mean:1.0;
+    times.(2 * j) <- !t;
+    times.((2 * j) + 1) <- !t +. Wf_sim.Rng.exponential rng ~mean:sc_prepare_lag
+  done;
+  let order = Array.init m (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare times.(a) times.(b) in
+      if c <> 0 then c else Int.compare a b)
+    order;
+  let enable_lat = Array.make n 0.0 in
+  let n_lat = ref 0 in
+  let sym b j = Symbol.parametrized b [ string_of_int j ] in
+  Gc.compact ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  let eng = sc_make_engine engine n in
+  let inputs = ref 0 in
+  let t0 = Monotonic_clock.get () in
+  for i = 0 to m - 1 do
+    let slot = order.(i) in
+    let j = slot / 2 in
+    incr inputs;
+    if slot land 1 = 0 then begin
+      match eng.sc_attempt (sym "c" j) with
+      | Param_sched.Parked | Param_sched.Accepted | Param_sched.Already -> ()
+      | Param_sched.Rejected | Param_sched.Busy _ ->
+          failwith "scale: commit rejected or shed"
+    end
+    else begin
+      let u0 = Monotonic_clock.get () in
+      eng.sc_occurred (Literal.pos (sym "p" j));
+      let us = (Monotonic_clock.get () -. u0) /. 1e3 in
+      enable_lat.(!n_lat) <- us;
+      incr n_lat
+    end
+  done;
+  let wall = (Monotonic_clock.get () -. t0) /. 1e9 in
+  Gc.compact ();
+  let live1 = (Gc.stat ()).Gc.live_words in
+  let bytes_per_instance = float_of_int ((live1 - live0) * 8) /. float_of_int n in
+  ignore (Sys.opaque_identity (times, order));
+  let trace = eng.sc_trace () in
+  let events = Trace.length trace in
+  let violations = ref 0 in
+  if eng.sc_parked_count () <> 0 then incr violations;
+  if events <> 2 * n then incr violations;
+  if audit then begin
+    (* Exactly-once and dependency order, token by token. *)
+    let pos = Hashtbl.create (4 * n) in
+    List.iteri
+      (fun i (l : Literal.t) ->
+        let name = Symbol.name (Literal.symbol l) in
+        if Hashtbl.mem pos name then incr violations
+        else Hashtbl.add pos name i)
+      trace;
+    for j = 0 to n - 1 do
+      match
+        ( Hashtbl.find_opt pos (Symbol.name (sym "p" j)),
+          Hashtbl.find_opt pos (Symbol.name (sym "c" j)) )
+      with
+      | Some ip, Some ic when ip < ic -> ()
+      | _ -> incr violations
+    done
+  end;
+  let lat = Array.sub enable_lat 0 !n_lat in
+  Array.sort compare lat;
+  let p99 =
+    if !n_lat = 0 then nan
+    else lat.(min (!n_lat - 1) (int_of_float (0.99 *. float_of_int !n_lat)))
+  in
+  let stats = eng.sc_stats () in
+  let row =
+    {
+      sc_engine = (match engine with `Param -> "param" | `Fleet -> "fleet");
+      sc_bindings = n;
+      sc_inputs = !inputs;
+      sc_events = events;
+      sc_wall_s = wall;
+      sc_events_per_s = float_of_int !inputs /. wall;
+      sc_p99_enable_us = p99;
+      sc_bytes_per_instance = bytes_per_instance;
+      sc_state_words = eng.sc_words ();
+      sc_table_steps = Wf_obs.Metrics.count stats "fleet_table_steps";
+      sc_symbolic_evals = Wf_obs.Metrics.count stats "fleet_symbolic_evals";
+      sc_drained = eng.sc_parked_count () = 0 && events = 2 * n;
+      sc_violations = !violations;
+    }
+  in
+  (* Keep the engine alive through both GC measurements above. *)
+  ignore (Sys.opaque_identity eng);
+  row
+
+type sc_gates = {
+  sg_mem_ratio : float; (* param bytes/inst over fleet bytes/inst, same n *)
+  sg_fleet_bytes : float; (* fleet bytes/inst at the shared baseline n *)
+  sg_mem_ok : bool;
+  sg_speedup : float; (* fleet events/s over param events/s, same n *)
+  sg_speed_ok : bool;
+  sg_drain_ok : bool;
+  sg_big_ok : bool; (* the largest fleet leg completed and drained *)
+}
+
+(* Absolute per-binding budget used by the CI smoke gate. At smoke scale
+   (10^4 bindings) the fixed table floors and power-of-two interner slack
+   dominate the ratio, so the smoke gate checks the budget instead; the
+   full run enforces the >= 10x ratio from the acceptance criteria. *)
+let sc_mem_budget_bytes = 256.0
+
+let sc_gate_rows ~smoke rows =
+  let find e n =
+    List.find_opt (fun r -> r.sc_engine = e && r.sc_bindings = n) rows
+  in
+  let base_n =
+    List.fold_left
+      (fun acc r -> if r.sc_engine = "param" then max acc r.sc_bindings else acc)
+      0 rows
+  in
+  let big_n =
+    List.fold_left
+      (fun acc r -> if r.sc_engine = "fleet" then max acc r.sc_bindings else acc)
+      0 rows
+  in
+  let mem_ratio, fleet_bytes, speedup =
+    match (find "param" base_n, find "fleet" base_n) with
+    | Some p, Some f ->
+        ( p.sc_bytes_per_instance /. f.sc_bytes_per_instance,
+          f.sc_bytes_per_instance,
+          f.sc_events_per_s /. p.sc_events_per_s )
+    | _ -> (nan, nan, nan)
+  in
+  let big_ok =
+    match find "fleet" big_n with
+    | Some r -> r.sc_drained && r.sc_violations = 0
+    | None -> false
+  in
+  {
+    sg_mem_ratio = mem_ratio;
+    sg_fleet_bytes = fleet_bytes;
+    sg_mem_ok =
+      (if smoke then fleet_bytes <= sc_mem_budget_bytes
+       else mem_ratio >= 10.0);
+    sg_speedup = speedup;
+    sg_speed_ok = speedup >= 1.0;
+    sg_drain_ok =
+      List.for_all (fun r -> r.sc_drained && r.sc_violations = 0) rows;
+    sg_big_ok = big_ok;
+  }
+
+let sc_all_ok g = g.sg_mem_ok && g.sg_speed_ok && g.sg_drain_ok && g.sg_big_ok
+
+let bench_scale ~smoke () =
+  section "SCALE"
+    "Fleet execution engine: one spec, 10^5..10^6 parameter bindings";
+  let base_n = if smoke then 10_000 else 100_000 in
+  let big_n = if smoke then 100_000 else 1_000_000 in
+  Printf.printf "%-7s %9s %9s %8s %12s %10s %11s %7s %5s\n" "engine"
+    "bindings" "inputs" "wall_s" "events/s" "p99_us" "bytes/inst" "drain"
+    "viol";
+  let rows = ref [] in
+  let leg i ~engine ~n ~audit =
+    let seed = Int64.of_int (0x5CA1E + (41 * i)) in
+    let r = sc_run ~engine ~n ~seed ~audit in
+    Printf.printf "%-7s %9d %9d %8.2f %12.0f %10.1f %11.1f %7b %5d\n%!"
+      r.sc_engine r.sc_bindings r.sc_inputs r.sc_wall_s r.sc_events_per_s
+      r.sc_p99_enable_us r.sc_bytes_per_instance r.sc_drained r.sc_violations;
+    rows := r :: !rows
+  in
+  leg 0 ~engine:`Param ~n:base_n ~audit:true;
+  leg 1 ~engine:`Fleet ~n:base_n ~audit:true;
+  leg 2 ~engine:`Fleet ~n:big_n ~audit:false;
+  let rows = List.rev !rows in
+  let g = sc_gate_rows ~smoke rows in
+  if smoke then
+    Printf.printf
+      "fleet bytes/instance at %d bindings: %.1f (gate: <= %.0f); \
+       param/fleet ratio %.1fx\n"
+      base_n g.sg_fleet_bytes sc_mem_budget_bytes g.sg_mem_ratio
+  else
+    Printf.printf
+      "memory ratio param/fleet at %d bindings: %.1fx (gate: >= 10x)\n" base_n
+      g.sg_mem_ratio;
+  Printf.printf "fleet speedup over param at %d bindings: %.2fx (gate: >= 1x)\n"
+    base_n g.sg_speedup;
+  Printf.printf "all legs drained exactly-once: %b; %d-binding leg ok: %b\n"
+    g.sg_drain_ok big_n g.sg_big_ok;
+  Printf.printf "scale gates %s\n%!" (if sc_all_ok g then "PASS" else "FAIL");
+  rows
+
+let write_scale_json path ~smoke rows =
+  let g = sc_gate_rows ~smoke rows in
+  let js x = if Float.is_nan x then "null" else Printf.sprintf "%.4f" x in
+  let oc = open_out path in
+  let row_json r =
+    Printf.sprintf
+      "{\"engine\": \"%s\", \"bindings\": %d, \"inputs\": %d, \"events\": \
+       %d, \"wall_s\": %s, \"events_per_s\": %s, \"p99_enable_us\": %s, \
+       \"bytes_per_instance\": %s, \"state_words\": %d, \"table_steps\": \
+       %d, \"symbolic_evals\": %d, \"drained\": %b, \"violations\": %d}"
+      r.sc_engine r.sc_bindings r.sc_inputs r.sc_events (js r.sc_wall_s)
+      (js r.sc_events_per_s) (js r.sc_p99_enable_us)
+      (js r.sc_bytes_per_instance) r.sc_state_words r.sc_table_steps
+      r.sc_symbolic_evals r.sc_drained r.sc_violations
+  in
+  Printf.fprintf oc "{\n  \"suite\": \"scale\",\n  \"mode\": \"%s\",\n"
+    (if smoke then "smoke" else "full");
+  Printf.fprintf oc
+    "  \"config\": {\"spec\": \"~c[x] + p[x].c[x]\", \"arrival\": \
+     \"poisson\", \"prepare_lag_mean\": %.1f},\n"
+    sc_prepare_lag;
+  Printf.fprintf oc "  \"legs\": [\n    %s\n  ],\n"
+    (String.concat ",\n    " (List.map row_json rows));
+  Printf.fprintf oc
+    "  \"gates\": {\n    \"mem_ratio_param_over_fleet\": %s,\n    \
+     \"fleet_bytes_per_instance\": %s,\n    \"mem_budget_bytes\": %.1f,\n    \
+     \"mem_gate\": \"%s\",\n    \"mem_ok\": %b,\n    \"fleet_speedup\": \
+     %s,\n    \"speed_ok\": %b,\n    \"drain_exactly_once_ok\": %b,\n    \
+     \"largest_leg_ok\": %b,\n    \"ok\": %b\n  }\n}\n"
+    (js g.sg_mem_ratio) (js g.sg_fleet_bytes) sc_mem_budget_bytes
+    (if smoke then "bytes_per_instance <= budget" else "ratio >= 10x")
+    g.sg_mem_ok (js g.sg_speedup) g.sg_speed_ok g.sg_drain_ok g.sg_big_ok
+    (sc_all_ok g);
+  close_out oc
+
 (* --- main --------------------------------------------------------------------- *)
 
 let () =
@@ -1690,6 +1991,7 @@ let () =
   let check_only = List.mem "--check" args in
   let store_only = List.mem "--store" args in
   let overload_only = List.mem "--overload" args in
+  let scale_only = List.mem "--scale" args in
   let json_path =
     let rec find = function
       | "--json" :: next :: _ when String.length next > 0 && next.[0] <> '-' ->
@@ -1720,6 +2022,17 @@ let () =
           if path = "BENCH_CORE.json" then "BENCH_OVERLOAD.json" else path
         in
         write_overload_json path ~smoke rows;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  end
+  else if scale_only then begin
+    let rows = bench_scale ~smoke () in
+    match json_path with
+    | Some path ->
+        let path =
+          if path = "BENCH_CORE.json" then "BENCH_SCALE.json" else path
+        in
+        write_scale_json path ~smoke rows;
         Printf.printf "wrote %s\n" path
     | None -> ()
   end

@@ -77,6 +77,16 @@ let step_promised t s (l : Literal.t) =
   | None -> s
   | Some i -> t.next.((s * t.width) + (4 * i) + prom_code l.Literal.pol)
 
+(* Indexed stepping: fleets of instances sharing one table resolve each
+   (symbol, polarity) to its input column once, then step every
+   instance with a single array read — no per-step hash lookup. *)
+let occ_input t sym pol =
+  match Sym_tbl.find_opt t.sym_index sym with
+  | None -> None
+  | Some i -> Some ((4 * i) + occ_code pol)
+
+let step_input t s input = t.next.((s * t.width) + input)
+
 (* Replay a knowledge onto the table: occurrences in seqno order (the
    order the symbolic engine assimilated them — pending terms are
    order-sensitive), then the still-outstanding promises (per-symbol

@@ -83,6 +83,17 @@ val step_occurred : t -> state -> Literal.t -> state
 val step_promised : t -> state -> Literal.t -> state
 (** Assimilate a promise [◇x]. *)
 
+val occ_input : t -> Symbol.t -> Literal.polarity -> int option
+(** Resolve an occurrence announcement to its input column, or [None]
+    when the symbol is outside the table's alphabet.  Fleets of
+    instances sharing one table resolve each (symbol, polarity) once
+    and then step every instance with {!step_input} — one array read,
+    no per-step hash lookup. *)
+
+val step_input : t -> state -> int -> state
+(** Step by a pre-resolved input column (see {!occ_input}).  The column
+    must come from the same table. *)
+
 val of_knowledge : t -> Knowledge.t -> state
 (** Replay a knowledge onto the table: occurrences in seqno order (the
     symbolic assimilation order — pending terms are order-sensitive),

@@ -71,6 +71,11 @@ let set_gauge t name v =
 let gauge t name =
   match Hashtbl.find_opt t.gauges name with Some r -> Some !r | None -> None
 
+let gauge_max t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> if v > !r then r := v
+  | None -> Hashtbl.add t.gauges name (ref v)
+
 let gauges t = sorted_bindings t.gauges (fun r -> !r)
 
 (* --- histograms ---------------------------------------------------------- *)

@@ -59,6 +59,11 @@ val counters : t -> (string * int) list
 
 val set_gauge : t -> string -> float -> unit
 
+val gauge_max : t -> string -> float -> unit
+(** High-watermark gauge: keep the maximum of the values seen.  Shared
+    by the flow controller ([flow_max_*]) and the fleet engine
+    ([fleet_*] peaks). *)
+
 val gauge : t -> string -> float option
 
 val gauges : t -> (string * float) list

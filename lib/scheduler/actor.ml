@@ -61,7 +61,12 @@ type t = {
   mutable reserve_inflight : Symbol.t option;
   mutable reserve_backoff : Symbol.Set.t;
   mutable holder : Literal.t option; (* who holds MY symbol *)
-  mutable waiters : Literal.t list; (* denied reservation requesters, FIFO *)
+  (* Denied reservation requesters, FIFO.  Two-list queue (arrival
+     order is [waiters_front @ List.rev waiters_back]) so that enqueue
+     is O(1) — a single append-to-tail list is O(n) per enqueue and
+     O(n^2) under contention. *)
+  mutable waiters_front : Literal.t list;
+  mutable waiters_back : Literal.t list; (* newest first *)
   mutable parked : parked list;
   mutable decided_pol : Literal.polarity option;
   mutable promise_requested : Literal.Set.t;
@@ -85,7 +90,8 @@ let create ~sym ~site ~guard_pos ~guard_neg ~attr_pos ~attr_neg
     reserve_inflight = None;
     reserve_backoff = Symbol.Set.empty;
     holder = None;
-    waiters = [];
+    waiters_front = [];
+    waiters_back = [];
     parked = [];
     decided_pol = None;
     promise_requested = Literal.Set.empty;
@@ -93,6 +99,7 @@ let create ~sym ~site ~guard_pos ~guard_neg ~attr_pos ~attr_neg
     trigger_engaged = false;
   }
 
+let waiters t = t.waiters_front @ List.rev t.waiters_back
 let symbol t = t.sym
 let site t = t.site
 let decided t = t.decided_pol
@@ -478,7 +485,7 @@ let rec consider_reservation ctx t requester =
     end
     else if t.holder <> None then
       (* Busy: queue until the holder releases. *)
-      t.waiters <- t.waiters @ [ requester ]
+      t.waiters_back <- requester :: t.waiters_back
     else begin
       Wf_obs.Metrics.incr ctx.stats "reservations_denied";
       ctx.send (Literal.symbol requester)
@@ -487,10 +494,15 @@ let rec consider_reservation ctx t requester =
   end
 
 and drain_waiters ctx t =
-  match t.waiters with
+  (match t.waiters_front with
+  | [] ->
+      t.waiters_front <- List.rev t.waiters_back;
+      t.waiters_back <- []
+  | _ -> ());
+  match t.waiters_front with
   | [] -> ()
   | requester :: rest ->
-      t.waiters <- rest;
+      t.waiters_front <- rest;
       consider_reservation ctx t requester
 
 let attempt ?(entailed = Guard.top) ctx t pol =
@@ -666,7 +678,7 @@ let snapshot t =
     s_reserve_inflight = t.reserve_inflight;
     s_reserve_backoff = t.reserve_backoff;
     s_holder = t.holder;
-    s_waiters = t.waiters;
+    s_waiters = waiters t;
     s_parked = List.map (fun p -> (p.pol, p.via_trigger, p.guard)) t.parked;
     s_decided_pol = t.decided_pol;
     s_promise_requested = t.promise_requested;
@@ -681,7 +693,8 @@ let restore t s =
   t.reserve_inflight <- s.s_reserve_inflight;
   t.reserve_backoff <- s.s_reserve_backoff;
   t.holder <- s.s_holder;
-  t.waiters <- s.s_waiters;
+  t.waiters_front <- s.s_waiters;
+  t.waiters_back <- [];
   t.parked <-
     List.map
       (fun (pol, via_trigger, guard) -> park ~pol ~via_trigger guard)
@@ -748,7 +761,7 @@ let fingerprint t =
   let h = option fp_sym h t.reserve_inflight in
   let h = fp_set h t.reserve_backoff in
   let h = option fp_lit h t.holder in
-  let h = list fp_lit h t.waiters in
+  let h = list fp_lit h (waiters t) in
   let h =
     list
       (fun h p ->

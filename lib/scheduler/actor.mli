@@ -65,6 +65,11 @@ val symbol : t -> Symbol.t
 val site : t -> int
 val decided : t -> Literal.polarity option
 val parked_count : t -> int
+
+(** Reservation requesters queued behind the current holder, in arrival
+    order.  Enqueue and dequeue are O(1) (two-list FIFO); exposed for
+    the waiter-ordering regression test. *)
+val waiters : t -> Literal.t list
 val knowledge : t -> Knowledge.t
 
 val attempt : ?entailed:Guard.t -> ctx -> t -> Literal.polarity -> unit

@@ -1,0 +1,109 @@
+open Wf_core
+
+(** Fleet execution engine: one parametrized spec, 10^5..10^6 bindings.
+
+    Behaviorally a drop-in for {!Param_sched} on {e fleet-eligible}
+    specs — same outcomes, same occurred sequences, same seqnos, same
+    journal/recover contract — but per-binding guard state lives in a
+    flat {!Arena} of int words (one event-fate word per (binding, event
+    base), one compiled-table state per (binding, guard)) indexed by a
+    dense binding interner, instead of per-instance symbolic knowledge
+    and memoized per-instance guard tables.
+
+    {b Eligibility} ({!eligible}): every dependency has exactly one
+    distinct variable and every atom's parameters are all variables
+    (arity >= 1), with base arities consistent across dependencies.
+    Then every symbol of an instantiated guard carries the binding's
+    own token, so bindings are independent: an occurrence for binding
+    [i] cannot change a verdict of binding [j <> i], and the engine
+    dispatches attempts, occurrences, and parked retries per binding.
+
+    {b Symbolic fallback}: guards whose compiled table exceeds the
+    {!Gtable} bound (or with tables globally off) are evaluated
+    symbolically per decision, on a knowledge rebuilt over the
+    template's marked alphabet from the binding's fate words —
+    verdict-equal to Param_sched's instantiated evaluation under the
+    renaming [?x → token]. *)
+
+type outcome = Param_sched.outcome =
+  | Accepted
+  | Parked
+  | Rejected
+  | Already
+  | Busy of { retry_after : float }
+
+type t
+
+val eligible : Ptemplate.t list -> bool
+(** Can this spec run on the fleet engine?  See the module preamble. *)
+
+val create :
+  ?checkpoint_every:int ->
+  ?store:Wf_store.Media.Sim.fault_config ->
+  ?store_seed:int64 ->
+  ?flow:Flow.config ->
+  Ptemplate.t list ->
+  t
+(** Same contract as {!Param_sched.create}, plus: raises
+    [Invalid_argument] when the spec is not {!eligible}.
+    [checkpoint_every] defaults to 1024 — a fleet checkpoint encodes
+    the whole arena as one frame (O(bindings)), so drivers running
+    10^6 bindings should raise the cadence further to amortize it. *)
+
+val set_tracer : t -> Wf_obs.Trace.sink option -> unit
+
+val attempt : t -> Symbol.t -> outcome
+(** Attempt a ground positive event token; mirrors
+    {!Param_sched.attempt} outcome-for-outcome on eligible specs.
+    Symbols that match no template atom (unknown base, arity mismatch,
+    mixed-argument tuples) are vacuously enabled and recorded off-spec,
+    like the symbolic engine's empty-verdict path. *)
+
+val occurred : t -> Literal.t -> unit
+
+val parked : t -> Symbol.t list
+(** Parked attempts, newest first — Param_sched's order.  O(bindings ×
+    bases) scan: this is a debugging/conformance query; drivers should
+    read {!parked_count}. *)
+
+val parked_count : t -> int
+(** Size of the parked backlog, O(1). *)
+
+val trace : t -> Trace.t
+(** Realized trace in occurrence order, rebuilt from the packed log. *)
+
+val knowledge : t -> Knowledge.t
+(** The full knowledge an equivalent Param_sched would hold —
+    O(occurrences); for conformance tests, not the hot path. *)
+
+val decided : t -> Symbol.t -> bool
+(** Has this ground symbol occurred (either polarity)?  O(1). *)
+
+val bindings : t -> int
+(** Distinct parameter bindings interned so far. *)
+
+val guard_templates : t -> (int * Ptemplate.atom * Guard.t) list
+
+val stats : t -> Wf_obs.Metrics.t
+(** [fleet_*] counters (attempts, occurred, table steps, symbolic
+    fallback evaluations, parked peak) plus the admission controller's
+    [flow_*] metrics when created with a [flow] config. *)
+
+val work : t -> int
+(** Cumulative decision evaluations, Param_sched's unit of work. *)
+
+val state_words : t -> int
+(** Words held by the flat per-binding state (arena + occurrence log +
+    interner reverse map) — the bench's bytes-per-instance numerator
+    for the engine's own structures. *)
+
+val recover : t -> t
+(** Crash and rebuild from the journal: same contract as
+    {!Param_sched.recover} — the arena checkpoint is restored as one
+    frame and the input suffix replayed silently. *)
+
+val last_salvage : t -> Wf_store.Log.salvage_report option
+
+val equal_state : t -> t -> bool
+(** Field-by-field equality of the mutable engine state (interner,
+    arena, occurrence and off-spec logs, counters). *)

@@ -67,9 +67,7 @@ let create ?(config = default_config) ~num_sites ~seed ~stats ~now
 
 let config t = t.cfg
 
-let gauge_max t name v =
-  let cur = match Metrics.gauge t.stats name with Some g -> g | None -> 0.0 in
-  if float_of_int v > cur then Metrics.set_gauge t.stats name (float_of_int v)
+let gauge_max t name v = Metrics.gauge_max t.stats name (float_of_int v)
 
 (* --- sender side --------------------------------------------------------- *)
 
@@ -171,8 +169,13 @@ let admit t ~site ?actor ?depth:d ~first () =
           (t.cfg.retry_base *. (t.cfg.retry_backoff ** float_of_int streak))
       in
       (* x0.5 .. x1.5 seeded jitter desynchronizes shed herds the same
-         way retransmit jitter desynchronizes retry storms. *)
-      let retry_after = base *. (0.5 +. Wf_sim.Rng.float t.rng 1.0) in
+         way retransmit jitter desynchronizes retry storms; [retry_max]
+         caps the final value, jitter included, so an arbitrarily long
+         shed streak can never park an attempt past the configured
+         horizon. *)
+      let retry_after =
+        Float.min t.cfg.retry_max (base *. (0.5 +. Wf_sim.Rng.float t.rng 1.0))
+      in
       (match t.tracer () with
       | None -> ()
       | Some sink ->

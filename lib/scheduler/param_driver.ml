@@ -8,10 +8,47 @@ type result = {
   finished : bool;
 }
 
+(* Engine dispatch: the driver speaks to either parametrized engine
+   through one record of closures, so the step loop below is engine
+   agnostic.  Each closure set owns a ref to the live engine so that
+   [e_recover] can swap in the rebuilt one. *)
+type eng = {
+  e_attempt : Symbol.t -> Param_sched.outcome;
+  e_decided : Symbol.t -> bool;
+  e_trace : unit -> Trace.t;
+  e_parked : unit -> Symbol.t list;
+  e_recover : unit -> unit;
+}
+
+let symbolic_eng ?tracer ?flow templates =
+  let e = ref (Param_sched.create ?flow templates) in
+  Param_sched.set_tracer !e tracer;
+  {
+    e_attempt = (fun sym -> Param_sched.attempt !e sym);
+    e_decided = (fun sym -> Knowledge.decided (Param_sched.knowledge !e) sym);
+    e_trace = (fun () -> Param_sched.trace !e);
+    e_parked = (fun () -> Param_sched.parked !e);
+    e_recover = (fun () -> e := Param_sched.recover !e);
+  }
+
+let fleet_eng ?tracer ?flow templates =
+  let e = ref (Fleet.create ?flow templates) in
+  Fleet.set_tracer !e tracer;
+  {
+    e_attempt = (fun sym -> Fleet.attempt !e sym);
+    e_decided = (fun sym -> Fleet.decided !e sym);
+    e_trace = (fun () -> Fleet.trace !e);
+    e_parked = (fun () -> Fleet.parked !e);
+    e_recover = (fun () -> e := Fleet.recover !e);
+  }
+
 let run ?(seed = 42L) ?(max_steps = 100_000) ?crash_every ?tracer ?flow
-    ~templates wf =
-  let engine = ref (Param_sched.create ?flow templates) in
-  Param_sched.set_tracer !engine tracer;
+    ?(engine = `Symbolic) ~templates wf =
+  let eng =
+    match engine with
+    | `Symbolic -> symbolic_eng ?tracer ?flow templates
+    | `Fleet -> fleet_eng ?tracer ?flow templates
+  in
   let rng = Wf_sim.Rng.create seed in
   let agents =
     List.map
@@ -41,12 +78,10 @@ let run ?(seed = 42L) ?(max_steps = 100_000) ?crash_every ?tracer ?flow
         Agent.on_rejected agent sym
     | Param_sched.Busy _ -> Hashtbl.replace busy (Agent.instance agent) ()
   in
-  let progress () =
-    List.exists (fun a -> not (Agent.finished a)) agents
-  in
+  let progress () = List.exists (fun a -> not (Agent.finished a)) agents in
   while progress () && !steps < max_steps && !stalled < 10_000 do
     incr steps;
-    let before = Trace.length (Param_sched.trace !engine) in
+    let before = Trace.length (eng.e_trace ()) in
     let live = List.filter (fun a -> not (Agent.finished a)) agents in
     if live <> [] then begin
       let agent = Wf_sim.Rng.pick rng live in
@@ -54,17 +89,15 @@ let run ?(seed = 42L) ?(max_steps = 100_000) ?crash_every ?tracer ?flow
       | None -> (
           (* Awaiting a parked decision: poke the engine. *)
           match Agent.awaiting agent with
-          | Some sym when Knowledge.decided (Param_sched.knowledge !engine) sym
-            ->
-              ignore (Agent.on_accepted agent sym)
+          | Some sym when eng.e_decided sym -> ignore (Agent.on_accepted agent sym)
           | Some sym when Hashtbl.mem busy (Agent.instance agent) ->
               incr attempts;
-              handle agent sym (Param_sched.attempt !engine sym)
+              handle agent sym (eng.e_attempt sym)
           | _ -> ())
       | Some (sym, _) ->
           incr attempts;
           Agent.begin_attempt agent sym;
-          handle agent sym (Param_sched.attempt !engine sym)
+          handle agent sym (eng.e_attempt sym)
     end;
     (* Simulated engine crash: throw the in-memory engine away and
        rebuild it from its journal (checkpoint + replay).  Agents model
@@ -72,14 +105,14 @@ let run ?(seed = 42L) ?(max_steps = 100_000) ?crash_every ?tracer ?flow
     (match crash_every with
     | Some k when k > 0 && !attempts >= !last_crash + k ->
         last_crash := !attempts;
-        engine := Param_sched.recover !engine
+        eng.e_recover ()
     | _ -> ());
-    if Trace.length (Param_sched.trace !engine) = before then incr stalled
+    if Trace.length (eng.e_trace ()) = before then incr stalled
     else stalled := 0
   done;
   {
-    trace = Param_sched.trace !engine;
+    trace = eng.e_trace ();
     attempts = !attempts;
-    parked_final = Param_sched.parked !engine;
+    parked_final = eng.e_parked ();
     finished = List.for_all Agent.finished agents;
   }

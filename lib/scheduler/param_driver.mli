@@ -19,6 +19,7 @@ val run :
   ?crash_every:int ->
   ?tracer:Wf_obs.Trace.sink ->
   ?flow:Flow.config ->
+  ?engine:[ `Symbolic | `Fleet ] ->
   templates:Ptemplate.t list ->
   Workflow_def.t ->
   result
@@ -30,4 +31,7 @@ val run :
     crashes.  [flow] enables the engine's admission control: attempts
     shed with {!Param_sched.Busy} are re-submitted when the agent is
     next scheduled, and probe admission guarantees they eventually
-    land. *)
+    land.  [engine] (default [`Symbolic]) selects the parametrized
+    engine: [`Fleet] runs the arena-backed {!Fleet} engine instead —
+    behaviorally identical on fleet-eligible specs, raises
+    [Invalid_argument] otherwise ({!Fleet.eligible}). *)

@@ -76,6 +76,11 @@ type t = {
   mutable seqno : int;
   mutable occurrences : Literal.t list; (* newest first *)
   mutable parked_syms : Symbol.t list;
+  mutable parked_n : int;
+      (* |parked_syms|, maintained incrementally: the admission gate
+         reads the backlog depth on every attempt and the retry loop
+         checks progress on every pass, so a [List.length] there is a
+         full traversal per event — O(p) per input at fleet scale *)
   tracer : Wf_obs.Trace.sink option ref;
       (* a ref shared with the flow controller's closure (and carried
          across {!recover}), so retargeting the sink retargets both *)
@@ -174,6 +179,7 @@ let create ?(checkpoint_every = 32) ?store ?(store_seed = 1L) ?flow deps =
     seqno = 0;
     occurrences = [];
     parked_syms = [];
+    parked_n = 0;
     tracer;
     tick;
     fstats;
@@ -361,32 +367,37 @@ let relevant t sym base =
 
 let rec retry_parked ?touched t =
   let parked = t.parked_syms in
+  let taken = t.parked_n in
   t.parked_syms <- [];
+  t.parked_n <- 0;
+  let kept = ref 0 in
   let still =
     List.filter
       (fun sym ->
-        if Knowledge.decided t.know sym then false
-        else if
-          match touched with
-          | Some base -> not (relevant t sym base)
-          | None -> false
-        then true (* unaffected: stays parked without re-deciding *)
-        else
-          match decide t sym with
-          | Knowledge.True ->
-              emit_assim t sym Wf_obs.Trace.Enabled;
-              record t (Literal.pos sym);
-              false
-          | Knowledge.False | Knowledge.Unknown ->
-              emit_assim t sym Wf_obs.Trace.Reduced;
-              true)
+        let keep =
+          if Knowledge.decided t.know sym then false
+          else if
+            match touched with
+            | Some base -> not (relevant t sym base)
+            | None -> false
+          then true (* unaffected: stays parked without re-deciding *)
+          else
+            match decide t sym with
+            | Knowledge.True ->
+                emit_assim t sym Wf_obs.Trace.Enabled;
+                record t (Literal.pos sym);
+                false
+            | Knowledge.False | Knowledge.Unknown ->
+                emit_assim t sym Wf_obs.Trace.Reduced;
+                true
+        in
+        if keep then incr kept;
+        keep)
       parked
   in
-  if List.length still < List.length parked then begin
-    t.parked_syms <- still @ t.parked_syms;
-    retry_parked t
-  end
-  else t.parked_syms <- still @ t.parked_syms
+  t.parked_syms <- still @ t.parked_syms;
+  t.parked_n <- t.parked_n + !kept;
+  if !kept < taken then retry_parked t
 
 let apply_attempt t sym =
   if Knowledge.decided t.know sym then Already
@@ -402,8 +413,10 @@ let apply_attempt t sym =
         Rejected
     | Knowledge.Unknown ->
         emit_assim t sym Wf_obs.Trace.Parked;
-        if not (List.exists (Symbol.equal sym) t.parked_syms) then
+        if not (List.exists (Symbol.equal sym) t.parked_syms) then begin
           t.parked_syms <- sym :: t.parked_syms;
+          t.parked_n <- t.parked_n + 1
+        end;
         Parked
 
 let apply_occurred t lit =
@@ -437,6 +450,7 @@ let restore t s =
   t.seqno <- s.s_seqno;
   t.occurrences <- s.s_occurrences;
   t.parked_syms <- s.s_parked_syms;
+  t.parked_n <- List.length s.s_parked_syms;
   rebuild_tokens t
 
 let maybe_checkpoint t =
@@ -452,7 +466,7 @@ let admit_gate t sym =
   | Some fl -> (
       match
         Flow.admit fl ~site:0 ~actor:(Symbol.name sym)
-          ~depth:(List.length t.parked_syms)
+          ~depth:t.parked_n
           ~first:(float_of_int !(t.tick))
           ()
       with
@@ -544,6 +558,7 @@ let equal_state a b =
   && List.equal Symbol.equal a.parked_syms b.parked_syms
 
 let parked t = t.parked_syms
+let parked_count t = t.parked_n
 let trace t = List.rev t.occurrences
 let knowledge t = t.know
 let guard_templates t = t.templates

@@ -70,6 +70,12 @@ val occurred : t -> Literal.t -> unit
 (** Force an occurrence (uncontrollable events, complements). *)
 
 val parked : t -> Symbol.t list
+
+val parked_count : t -> int
+(** [List.length (parked t)], maintained incrementally — O(1).  The
+    admission gate and open-loop drivers read the backlog depth on
+    every attempt, so a list traversal there would be O(p) per event. *)
+
 val trace : t -> Trace.t
 (** Realized trace, in occurrence order. *)
 

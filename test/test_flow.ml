@@ -531,6 +531,42 @@ let test_crash_conformance_with_flow () =
     (count agg "net_restarts" = count agg "net_crashes");
   checkb "credit gating engaged" (count agg "flow_credits_consumed" > 0)
 
+(* --- retry backoff clamp ------------------------------------------------- *)
+
+let test_retry_backoff_clamped () =
+  (* Regression: the exponential backoff must clamp at [retry_max] even
+     after an arbitrarily long shed streak — jitter included.  Probe
+     admission is disabled so every one of the 1000 attempts sheds. *)
+  let cfg =
+    {
+      Flow.default_config with
+      Flow.shed_watermark = 1;
+      probe_every = 0;
+      retry_base = 0.5;
+      retry_backoff = 2.0;
+      retry_max = 8.0;
+    }
+  in
+  let fl =
+    Flow.create ~config:cfg ~num_sites:1 ~seed:7L
+      ~stats:(Wf_obs.Metrics.create ())
+      ~now:(fun () -> 0.0)
+      ()
+  in
+  let max_seen = ref 0.0 in
+  for _ = 1 to 1000 do
+    match Flow.admit fl ~site:0 ~depth:10 ~first:0.0 () with
+    | Flow.Admitted -> Alcotest.fail "probes disabled: nothing may admit"
+    | Flow.Busy { retry_after } ->
+        checkb "retry horizon finite" (Float.is_finite retry_after);
+        checkb "retry horizon positive" (retry_after > 0.0);
+        if retry_after > !max_seen then max_seen := retry_after
+  done;
+  checkb "1000-shed streak stays under retry_max"
+    (!max_seen <= cfg.Flow.retry_max);
+  checkb "the streak actually saturated the cap"
+    (!max_seen >= cfg.Flow.retry_base)
+
 (* --- parametrized-engine admission gate ---------------------------------- *)
 
 (* The fleet workload shape the overload bench uses: per binding x,
@@ -574,6 +610,9 @@ let test_param_engine_sheds_and_drains () =
   done;
   checkb "watermark parked a few" (!parked >= 2);
   checkb "the rest shed" (!shed <> []);
+  check Alcotest.int "parked counter tracks the parked list"
+    (List.length (Param_sched.parked eng))
+    (Param_sched.parked_count eng);
   checkb "shed counter agrees"
     (count (Param_sched.stats eng) "flow_shed" = List.length !shed);
   (* Prepares are uncontrollable upstream events: [occurred] bypasses
@@ -601,6 +640,8 @@ let test_param_engine_sheds_and_drains () =
     (List.rev !shed);
   check Alcotest.int "nothing left parked" 0
     (List.length (Param_sched.parked eng));
+  check Alcotest.int "parked counter drained with the list" 0
+    (Param_sched.parked_count eng);
   (* Exactly-once: each token's prepare and commit in the trace once,
      prepare first. *)
   let trace = Param_sched.trace eng in
@@ -640,6 +681,9 @@ let test_param_flow_survives_recovery () =
   done;
   let eng' = Param_sched.recover eng in
   checkb "recovered state matches" (Param_sched.equal_state eng eng');
+  check Alcotest.int "parked counter rebuilt on restore"
+    (List.length (Param_sched.parked eng'))
+    (Param_sched.parked_count eng');
   (match Param_sched.attempt eng' (sym "c" 9) with
   | Param_sched.Busy _ -> ()
   | _ -> Alcotest.fail "recovered engine must still shed over the watermark");
@@ -677,6 +721,8 @@ let suite =
       test_overload_conformance;
     Alcotest.test_case "crash conformance with credit windows" `Slow
       test_crash_conformance_with_flow;
+    Alcotest.test_case "retry backoff clamps at retry_max" `Quick
+      test_retry_backoff_clamped;
     Alcotest.test_case "param engine sheds, drains, exactly-once" `Quick
       test_param_engine_sheds_and_drains;
     Alcotest.test_case "param admission gate survives recovery" `Quick

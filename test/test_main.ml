@@ -19,6 +19,7 @@ let () =
       ("conformance", Test_conformance.suite);
       ("recovery", Test_recovery.suite);
       ("flow", Test_flow.suite);
+      ("fleet", Test_fleet.suite);
       ("properties", Test_props.suite);
       ("parametrized", Test_param.suite);
       ("language", Test_lang.suite);
